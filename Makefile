@@ -1,0 +1,31 @@
+# Convenience targets for the HierGAT reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench bench-full examples report clean-cache
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	$(PYTHON) benchmarks/run_all.py
+
+examples:
+	$(PYTHON) examples/quickstart.py --fast
+	$(PYTHON) examples/product_matching.py --fast
+	$(PYTHON) examples/collective_er.py --fast
+	$(PYTHON) examples/dirty_data_robustness.py --fast
+	$(PYTHON) examples/label_efficiency.py --fast
+	$(PYTHON) examples/explain_and_deploy.py --fast
+
+report:
+	$(PYTHON) benchmarks/make_report.py
+
+clean-cache:
+	rm -rf .lm_cache

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Usage:
+    python benchmarks/run_all.py               # representative subsets
+    python benchmarks/run_all.py --full        # full dataset line-ups (slow)
+    python benchmarks/run_all.py --only table4 figure10
+
+Prints each reproduced table in the paper's layout and a final wall-clock
+summary.  The pytest-benchmark suite (``pytest benchmarks/ --benchmark-only``)
+wraps the same runners with timing assertions.
+"""
+
+import argparse
+import time
+
+from repro.config import Scale, set_scale
+from repro.harness import EXPERIMENTS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run every dataset in every experiment (hours)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help=f"subset of experiment ids: {sorted(EXPERIMENTS)}")
+    parser.add_argument("--max-pairs", type=int, default=None,
+                        help="override the per-dataset pair cap")
+    args = parser.parse_args()
+
+    scale = Scale.bench()
+    if args.max_pairs:
+        import dataclasses
+
+        scale = dataclasses.replace(scale, max_pairs=args.max_pairs)
+    set_scale(scale)
+
+    selected = args.only or list(EXPERIMENTS)
+    unknown = set(selected) - set(EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiments: {sorted(unknown)}")
+
+    timings = {}
+    for exp_id in selected:
+        runner = EXPERIMENTS[exp_id]
+        started = time.perf_counter()
+        kwargs = {}
+        if not args.full and exp_id == "table4":
+            kwargs = {"include_dirty": True}
+        print(f"\n### running {exp_id} ...", flush=True)
+        result = runner(**kwargs)
+        timings[exp_id] = time.perf_counter() - started
+        print(result.render(), flush=True)
+
+    print("\n=== wall-clock summary ===")
+    for exp_id, seconds in timings.items():
+        print(f"  {exp_id:10s} {seconds:8.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 10 (F1 vs WDC training-set size)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_figure10_wdc
+from repro.harness.tables import numeric
+
+
+def test_figure10_wdc(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure10_wdc(domains=("computer",),
+                                 sizes=("small", "medium", "xlarge"),
+                                 models=("DM", "HG")),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    train_sizes = [int(v) for v in result.column("#train")]
+    assert train_sizes == sorted(train_sizes)  # the size ladder
+    for model in ("DM", "HG"):
+        for value in numeric(result.column(model)):
+            assert 0.0 <= value <= 100.0

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 11 (training time vs dataset size × length)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_figure11_training_time
+from repro.harness.tables import numeric
+
+
+def test_figure11_training_time(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure11_training_time(
+            datasets=("Fodors-Zagats", "Abt-Buy"),
+            models=("DM", "Ditto", "HG"),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    for model in ("DM", "Ditto", "HG"):
+        for seconds in numeric(result.column(model)):
+            assert seconds > 0.0
+    # Ditto serializes everything into one sentence and has no per-attribute
+    # passes, so it should be the fastest transformer (paper: "Ditto is most
+    # efficient").
+    ditto = numeric(result.column("Ditto"))
+    hiergat = numeric(result.column("HG"))
+    assert sum(ditto) < sum(hiergat)

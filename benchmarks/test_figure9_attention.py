@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9 (attention visualisation on Amazon-Google)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_figure9_attention
+
+
+def test_figure9_attention(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure9_attention(dataset="Amazon-Google", num_pairs=3),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row[1] in ("match", "non-match")
+        assert row[3]  # non-empty top-token report

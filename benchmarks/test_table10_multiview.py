@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 10 (multi-view combination ablation)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table10_multiview
+from repro.harness.tables import numeric
+
+
+def test_table10_multiview(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table10_multiview(datasets=("Amazon-Google",)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    methods = [row[0] for row in result.rows]
+    assert methods == ["View Average", "Shared Space Learn", "Weight Average"]
+    for header in result.headers[1:]:
+        for value in numeric(result.column(header)):
+            assert 0.0 <= value <= 100.0

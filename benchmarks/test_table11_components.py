@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 11 (aggregation/comparison module ablation)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table11_components
+from repro.harness.tables import numeric
+
+
+def test_table11_components(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table11_components(datasets=("Amazon-Google",)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    methods = [row[0] for row in result.rows]
+    assert methods == ["HG+", "Non-Sum", "Non-Align"]
+    for header in result.headers[1:]:
+        for value in numeric(result.column(header)):
+            assert 0.0 <= value <= 100.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Tables 1-2 (dataset characteristics)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table1_dataset_stats, run_table2_wdc_sizes
+
+
+def test_table1_magellan_stats(benchmark):
+    result = benchmark.pedantic(run_table1_dataset_stats, rounds=1, iterations=1)
+    emit(result)
+    assert len(result.rows) == 9
+    # Positive ratios of the generated data track the paper's (within 10pp).
+    for row in result.rows:
+        paper_ratio = 100 * int(row[3]) / int(row[2])
+        generated_ratio = float(row[7])
+        assert abs(paper_ratio - generated_ratio) < 10.0, row[0]
+
+
+def test_table2_wdc_stats(benchmark):
+    result = benchmark.pedantic(run_table2_wdc_sizes, rounds=1, iterations=1)
+    emit(result)
+    assert [row[0] for row in result.rows] == ["computer", "camera", "watch", "shoe", "All"]

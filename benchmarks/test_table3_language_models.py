@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3 (Ditto vs HierGAT across LM sizes)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table3_language_models
+from repro.harness.tables import numeric
+
+
+def test_table3_language_models(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table3_language_models(
+            datasets=("Fodors-Zagats", "Amazon-Google"),
+            language_models=("distilbert", "roberta"),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == 2
+    # Every Ditto/HG cell is a valid F1.
+    for header in result.headers[1:]:
+        for value in numeric(result.column(header)):
+            assert -100.0 <= value <= 100.0

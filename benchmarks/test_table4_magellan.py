@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Table 4 (pairwise F1 on the Magellan datasets).
+
+Covers a representative subset — one easy (Fodors-Zagats), one citation
+(DBLP-ACM), two hard (Amazon-Google, Walmart-Amazon) — plus one dirty
+variant; run the full table via ``repro.harness.run_table4_magellan()``.
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table4_magellan
+from repro.harness.tables import numeric
+
+DATASETS = ("Fodors-Zagats", "DBLP-ACM", "Amazon-Google", "Walmart-Amazon")
+
+
+def test_table4_magellan(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table4_magellan(datasets=DATASETS, include_dirty=False),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == len(DATASETS)
+    for model in ("Magellan", "DM", "Ditto", "HG"):
+        for value in numeric(result.column(model)):
+            assert 0.0 <= value <= 100.0
+
+
+def test_table4_dirty_block(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table4_magellan(datasets=("Walmart-Amazon",),
+                                    models=("Magellan", "HG"),
+                                    include_dirty=True),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    labels = [row[0] for row in result.rows]
+    assert "Walmart-Amazon (dirty)" in labels

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Tables 5-6 (collective benchmark construction)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table5_table6_statistics
+
+
+def test_table5_table6_statistics(benchmark):
+    result = benchmark.pedantic(run_table5_table6_statistics, rounds=1, iterations=1)
+    emit(result)
+    labels = [row[0] for row in result.rows]
+    # All five Magellan raw-table datasets + both DI2KG categories.
+    for name in ("iTunes-Amazon", "DBLP-ACM", "Amazon-Google", "Walmart-Amazon",
+                 "Abt-Buy", "DI2KG-camera", "DI2KG-monitor"):
+        assert name in labels
+    for row in result.rows:
+        queries, candidates, top_n = int(row[2]), int(row[3]), int(row[4])
+        assert candidates <= queries * top_n

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 7 (collective ER, all models).
+
+The full eight-model line-up runs on one Magellan and one DI2KG dataset; use
+``repro.harness.run_table7_collective()`` directly for more datasets.
+"""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table7_collective
+from repro.harness.tables import numeric
+
+
+def test_table7_collective(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table7_collective(
+            datasets=("Amazon-Google", "camera"),
+            models=("MG", "GCN", "GAT", "HGAT", "Ditto", "HG", "HG+"),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == 2
+    # Magellan cannot run on multi-table DI2KG data (paper note).
+    camera = next(row for row in result.rows if row[0] == "camera")
+    assert camera[result.headers.index("MG")] == "-"
+    for header in ("HGAT", "HG", "HG+"):
+        for value in numeric(result.column(header)):
+            assert 0.0 <= value <= 100.0

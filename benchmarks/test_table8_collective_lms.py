@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 8 (collective F1 across language models)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table8_collective_lms
+from repro.harness.tables import numeric
+
+
+def test_table8_collective_lms(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table8_collective_lms(
+            datasets=("Amazon-Google",),
+            language_models=("distilbert", "roberta"),
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert len(result.rows) == 1
+    for header in result.headers[1:]:
+        for value in numeric(result.column(header)):
+            assert 0.0 <= value <= 100.0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 9 (contextual-embedding ablation)."""
+
+from benchmarks.conftest import emit
+from repro.harness import run_table9_context_ablation
+from repro.harness.tables import numeric
+
+
+def test_table9_context_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table9_context_ablation(datasets=("Amazon-Google",)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    variants = [row[0] for row in result.rows]
+    assert variants == ["Context", "Non-Entity", "Non-Attribute", "Non-Context"]
+    for header in result.headers[1:]:
+        for value in numeric(result.column(header)):
+            assert 0.0 <= value <= 100.0

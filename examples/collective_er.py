@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Collective entity resolution with HierGAT+ (Section 6.3).
+
+Run:  python examples/collective_er.py [--dataset Amazon-Google|camera|monitor] [--fast]
+
+Builds a collective benchmark the paper's way — split query entities 3:1:1
+FIRST, then block each part with TF-IDF cosine top-N — and trains HierGAT+,
+which scores a query against its whole candidate set in one hierarchical
+heterogeneous graph, using entity-level context and the alignment layer.
+A pairwise HierGAT on the flattened pairs serves as the comparison point.
+"""
+
+import argparse
+
+from repro.config import Scale, get_scale, set_scale
+from repro.core import HierGAT, HierGATPlus
+from repro.harness.collective import collective_as_pairdataset, load_collective_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="Amazon-Google",
+                        help="Magellan name with raw tables, or DI2KG: camera / monitor")
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+    set_scale(Scale.ci() if args.fast else Scale.bench())
+
+    dataset = load_collective_dataset(args.dataset, get_scale())
+    print(dataset.summary())
+    example = dataset.test[0]
+    print(f"\nQuery: {example.query.text()[:70]}")
+    for candidate, label in zip(example.candidates[:4], example.labels[:4]):
+        print(f"  [{'+' if label else ' '}] {candidate.text()[:70]}")
+
+    print("\nTraining pairwise HierGAT on the flattened pairs ...")
+    flat = collective_as_pairdataset(dataset)
+    pairwise = HierGAT()
+    pairwise.fit(flat)
+    print(f"  HierGAT  (pairwise)   F1 = {pairwise.test_f1(flat):5.1f}")
+
+    print("Training collective HierGAT+ (entity context + alignment) ...")
+    collective = HierGATPlus()
+    collective.fit(dataset)
+    print(f"  HierGAT+ (collective) F1 = {collective.test_f1_collective(dataset):5.1f}")
+
+    scores = collective._group_scores(example)
+    print("\nHierGAT+ candidate scores for the example query:")
+    for candidate, label, score in zip(example.candidates[:4], example.labels[:4], scores[:4]):
+        print(f"  score={score:.3f} truth={'match' if label else 'no'}  {candidate.text()[:55]}")
+
+
+if __name__ == "__main__":
+    main()

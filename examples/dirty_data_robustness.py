@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Dirty-data robustness (Table 4's dirty block).
+
+Run:  python examples/dirty_data_robustness.py [--fast]
+
+DeepMatcher's dirty benchmark corrupts entity structure by injecting attribute
+values into other attributes (the title may suddenly contain the price).  The
+paper's claim: HierGAT drops only ~1 F1 point on dirty data while feature-based
+Magellan collapses.  This example reproduces that contrast on one dataset.
+"""
+
+import argparse
+
+from repro.config import Scale, set_scale
+from repro.core import HierGAT
+from repro.data import load_dataset
+from repro.matchers import MagellanMatcher
+from repro.matchers.base import evaluate_matcher
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="Walmart-Amazon",
+                        help="one of the dirty-capable datasets (I-A, D-A, D-S, W-A)")
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+    set_scale(Scale.ci() if args.fast else Scale.bench())
+
+    clean = load_dataset(args.dataset, dirty=False)
+    dirty = load_dataset(args.dataset, dirty=True)
+
+    example = dirty.pairs[0].left
+    print("A structure-corrupted record (values migrated between attributes):")
+    print(" ", dict(example.attributes))
+
+    print(f"\n{'model':12s} {'clean F1':>9s} {'dirty F1':>9s} {'drop':>6s}")
+    for factory in (MagellanMatcher, HierGAT):
+        clean_f1 = evaluate_matcher(factory(), clean)
+        dirty_f1 = evaluate_matcher(factory(), dirty)
+        name = factory().name
+        print(f"{name:12s} {clean_f1:9.1f} {dirty_f1:9.1f} {clean_f1 - dirty_f1:6.1f}")
+    print("\nExpected shape (paper): Magellan drops hard; HierGAT barely moves.")
+
+
+if __name__ == "__main__":
+    main()

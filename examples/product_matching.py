@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Product matching across two shops — the paper's Figure 1 scenario.
+
+Run:  python examples/product_matching.py [--fast]
+
+Builds an Amazon-Google-style software catalog (hard same-brand negatives
+that differ only in discriminative edition words like "big data" / "cluster"),
+compares all four pairwise models of Table 4, and prints HierGAT's attention
+so you can see it picking out the discriminative words (Figure 9).
+"""
+
+import argparse
+
+from repro.config import Scale, set_scale
+from repro.core import HierGAT
+from repro.core.attention_viz import attention_report
+from repro.data import load_dataset
+from repro.matchers import DeepMatcherModel, DittoModel, MagellanMatcher
+from repro.matchers.base import evaluate_matcher
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+    set_scale(Scale.ci() if args.fast else Scale.bench())
+
+    dataset = load_dataset("Amazon-Google")
+    print(dataset.summary())
+    hard_negative = next(p for p in dataset.pairs if p.label == 0
+                         and p.left.value("manufacturer") == p.right.value("manufacturer"))
+    print("\nA Figure-1-style hard negative (same brand, different edition):")
+    print("  A:", dict(hard_negative.left.attributes))
+    print("  B:", dict(hard_negative.right.attributes))
+
+    print("\nTraining the Table 4 line-up ...")
+    models = [MagellanMatcher(), DeepMatcherModel(), DittoModel(), HierGAT()]
+    results = {}
+    for model in models:
+        results[model.name] = evaluate_matcher(model, dataset)
+        print(f"  {model.name:12s} F1 = {results[model.name]:5.1f}")
+    hiergat = models[-1]
+
+    print("\nHierGAT attention on test pairs (Figure 9):")
+    for report in attention_report(hiergat, dataset.split.test[:3]):
+        print(f"  {report.pair_id}: truth={report.label:9s} pred={report.prediction:9s}")
+        print(f"    top tokens   : {report.top_tokens}")
+        print(f"    top attribute: {report.top_attribute}")
+
+
+if __name__ == "__main__":
+    main()

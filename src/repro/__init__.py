@@ -1,0 +1,26 @@
+"""repro — reproduction of "Entity Resolution with Hierarchical Graph Attention
+Networks" (HierGAT, SIGMOD 2022).
+
+Top-level convenience imports::
+
+    from repro import HierGAT, HierGATPlus, load_dataset, Scale
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import Scale, get_scale, set_scale
+
+__all__ = ["Scale", "get_scale", "set_scale", "__version__"]
+
+
+def __getattr__(name):
+    """Lazy top-level re-exports to keep ``import repro`` light."""
+    if name in ("HierGAT", "HierGATPlus"):
+        from repro import core
+
+        return getattr(core, name)
+    if name == "load_dataset":
+        from repro.data import load_dataset
+
+        return load_dataset
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,49 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This package is the computational substrate for the whole reproduction: the
+paper's models were implemented in PyTorch, which is unavailable here, so we
+provide a small but complete autograd engine with the same programming model
+(tensors that record the operations applied to them, a ``backward()`` call
+that accumulates gradients, and gradient-based optimizers).
+
+Public API::
+
+    from repro.autograd import Tensor, tensor, zeros, ones, randn
+    from repro.autograd import functional as F
+    from repro.autograd.optim import Adam, SGD
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    concat,
+    no_grad,
+    ones,
+    randn,
+    set_default_dtype,
+    get_default_dtype,
+    stack,
+    tensor,
+    zeros,
+)
+from repro.autograd import functional
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.optim import SGD, Adam, Optimizer, clip_grad_norm
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "concat",
+    "stack",
+    "no_grad",
+    "set_default_dtype",
+    "get_default_dtype",
+    "functional",
+    "gradcheck",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+]

@@ -1,0 +1,53 @@
+"""Numerical gradient checking used by the test suite to validate every op."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare analytic gradients of ``fn(*inputs).sum()`` with central differences.
+
+    Inputs should be float64 tensors with ``requires_grad=True``.  Raises
+    ``AssertionError`` with a diagnostic on mismatch; returns True on success.
+    """
+    for x in inputs:
+        if x.data.dtype != np.float64:
+            raise ValueError("gradcheck requires float64 inputs for accuracy")
+        x.grad = None
+
+    out = fn(*inputs)
+    loss = out.sum() if out.size > 1 else out
+    loss.backward()
+    analytic = [None if x.grad is None else x.grad.copy() for x in inputs]
+
+    for idx, x in enumerate(inputs):
+        numeric = np.zeros_like(x.data)
+        flat = x.data.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*inputs).sum().item())
+            flat[i] = original - eps
+            minus = float(fn(*inputs).sum().item())
+            flat[i] = original
+            num_flat[i] = (plus - minus) / (2 * eps)
+        got = analytic[idx] if analytic[idx] is not None else np.zeros_like(numeric)
+        if not np.allclose(got, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(got - numeric).max()
+            raise AssertionError(
+                f"gradcheck failed for input {idx}: max abs error {worst:.3e}\n"
+                f"analytic:\n{got}\nnumeric:\n{numeric}"
+            )
+    return True

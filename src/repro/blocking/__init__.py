@@ -1,0 +1,14 @@
+"""Blocking: cheap candidate filtering before matching (Section 2.1, 6.3).
+
+Two blockers are provided, matching the paper's two pipelines:
+
+* :func:`overlap_blocker` — keyword/word-overlap filtering (Magellan style),
+  used to prune obviously-unmatching pairs for the pairwise pipeline.
+* :class:`TfidfIndex` — TF-IDF cosine top-N retrieval, used to build the
+  collective-ER candidate sets (top-16 per query entity, Section 6.3).
+"""
+
+from repro.blocking.keyword import overlap_blocker, shared_token_count
+from repro.blocking.tfidf import TfidfIndex
+
+__all__ = ["overlap_blocker", "shared_token_count", "TfidfIndex"]

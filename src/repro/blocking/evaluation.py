@@ -1,0 +1,65 @@
+"""Blocker quality evaluation: reduction ratio and pairs completeness.
+
+The classic trade-off every ER survey reports: a blocker must prune the
+cross product (reduction ratio, RR) without losing true matches (pairs
+completeness, PC — the paper's "a reduced set of candidate entities that
+contain most of the matching entities").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence, Set, Tuple
+
+from repro.data.schema import Entity
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockerQuality:
+    """Reduction ratio / pairs completeness / their harmonic mean."""
+
+    reduction_ratio: float
+    pairs_completeness: float
+    num_candidates: int
+    num_true_matches: int
+
+    @property
+    def harmonic_mean(self) -> float:
+        rr, pc = self.reduction_ratio, self.pairs_completeness
+        return 2 * rr * pc / (rr + pc) if rr + pc else 0.0
+
+    def __str__(self) -> str:
+        return (f"RR={self.reduction_ratio:.3f} PC={self.pairs_completeness:.3f} "
+                f"HM={self.harmonic_mean:.3f}")
+
+
+def evaluate_blocker(
+    candidates: Iterable[Tuple[int, int]],
+    true_matches: Iterable[Tuple[int, int]],
+    table_sizes: Tuple[int, int],
+) -> BlockerQuality:
+    """Score a candidate set against ground truth."""
+    candidate_set: Set[Tuple[int, int]] = set(candidates)
+    truth = set(true_matches)
+    total = table_sizes[0] * table_sizes[1]
+    rr = 1.0 - len(candidate_set) / total if total else 0.0
+    pc = (len(candidate_set & truth) / len(truth)) if truth else 1.0
+    return BlockerQuality(
+        reduction_ratio=rr,
+        pairs_completeness=pc,
+        num_candidates=len(candidate_set),
+        num_true_matches=len(truth),
+    )
+
+
+def tfidf_candidates(table_a: Sequence[Entity], table_b: Sequence[Entity],
+                     top_n: int = 16) -> list:
+    """TF-IDF top-N retrieval as index pairs (the collective blocker)."""
+    from repro.blocking.tfidf import TfidfIndex
+
+    index = TfidfIndex(list(table_b))
+    out = []
+    for i, query in enumerate(table_a):
+        for j, _ in index.query(query, top_n=top_n, exclude_uid=False):
+            out.append((i, j))
+    return out

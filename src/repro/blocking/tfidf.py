@@ -1,0 +1,87 @@
+"""TF-IDF cosine-similarity retrieval for collective candidate generation.
+
+Section 6.3: "we randomly select one entity from table A and query top-N
+similar candidates in table B.  We use the TF-IDF cosine similarity to obtain
+the entities' similarity scores ... we set N as 16."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.data.schema import Entity
+from repro.text.tokenizer import tokenize
+
+
+class TfidfIndex:
+    """A TF-IDF vector index over entity texts with cosine top-N queries."""
+
+    def __init__(self, entities: Sequence[Entity]):
+        if not entities:
+            raise ValueError("cannot index an empty entity list")
+        self.entities = list(entities)
+        self._vocab: Dict[str, int] = {}
+        doc_tokens: List[List[str]] = []
+        for entity in self.entities:
+            tokens = tokenize(entity.text())
+            doc_tokens.append(tokens)
+            for token in tokens:
+                if token not in self._vocab:
+                    self._vocab[token] = len(self._vocab)
+
+        n_docs = len(self.entities)
+        n_terms = max(len(self._vocab), 1)
+        df = np.zeros(n_terms)
+        rows, cols, vals = [], [], []
+        for i, tokens in enumerate(doc_tokens):
+            counts: Dict[int, int] = {}
+            for token in tokens:
+                counts[self._vocab[token]] = counts.get(self._vocab[token], 0) + 1
+            for term, count in counts.items():
+                rows.append(i)
+                cols.append(term)
+                vals.append(1.0 + math.log(count))
+                df[term] += 1
+        self._idf = np.log((1 + n_docs) / (1 + df)) + 1.0
+        matrix = sparse.csr_matrix((vals, (rows, cols)), shape=(n_docs, n_terms))
+        matrix = matrix.multiply(self._idf[None, :]).tocsr()
+        norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+        norms[norms == 0] = 1.0
+        self._matrix = sparse.diags(1.0 / norms) @ matrix
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def vectorize(self, entity: Entity) -> sparse.csr_matrix:
+        """TF-IDF vector for a (possibly unseen) entity."""
+        counts: Dict[int, int] = {}
+        for token in tokenize(entity.text()):
+            term = self._vocab.get(token)
+            if term is not None:
+                counts[term] = counts.get(term, 0) + 1
+        if not counts:
+            return sparse.csr_matrix((1, self._matrix.shape[1]))
+        cols = list(counts)
+        vals = [(1.0 + math.log(counts[c])) * self._idf[c] for c in cols]
+        vec = sparse.csr_matrix((vals, ([0] * len(cols), cols)), shape=(1, self._matrix.shape[1]))
+        norm = math.sqrt(vec.multiply(vec).sum())
+        return vec / norm if norm > 0 else vec
+
+    def query(self, entity: Entity, top_n: int = 16,
+              exclude_uid: bool = True) -> List[Tuple[int, float]]:
+        """Top-N most cosine-similar indexed entities to ``entity``."""
+        scores = (self._matrix @ self.vectorize(entity).T).toarray().ravel()
+        order = np.argsort(-scores)
+        results: List[Tuple[int, float]] = []
+        for idx in order:
+            idx = int(idx)
+            if exclude_uid and self.entities[idx].uid == entity.uid:
+                continue
+            results.append((idx, float(scores[idx])))
+            if len(results) >= top_n:
+                break
+        return results

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    datasets                      list the available benchmarks
+    train --dataset NAME          train a matcher, report test F1, optionally save
+    bench EXPERIMENT [...]        regenerate one or more paper tables/figures
+    inspect --dataset NAME        print sample pairs and dataset statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import Scale, set_scale
+
+MATCHER_CHOICES = ("hiergat", "hiergat+", "ditto", "deepmatcher", "magellan",
+                   "dmplus", "gcn", "gat", "hgat")
+
+
+def _make_matcher(name: str):
+    from repro.core import HierGAT, HierGATPlus
+    from repro.matchers import (
+        DeepMatcherModel, DittoModel, DMPlusMatcher, GATMatcher, GCNMatcher,
+        HGATMatcher, MagellanMatcher,
+    )
+
+    factories = {
+        "hiergat": HierGAT, "hiergat+": HierGATPlus, "ditto": DittoModel,
+        "deepmatcher": DeepMatcherModel, "magellan": MagellanMatcher,
+        "dmplus": DMPlusMatcher, "gcn": GCNMatcher, "gat": GATMatcher,
+        "hgat": HGATMatcher,
+    }
+    return factories[name]()
+
+
+def _apply_scale(args) -> None:
+    scale = Scale.ci() if getattr(args, "fast", False) else Scale.bench()
+    set_scale(scale)
+
+
+def cmd_datasets(_args) -> int:
+    from repro.data.magellan import DIRTY_DATASETS, MAGELLAN_DATASETS
+    from repro.data.wdc import WDC_DOMAINS, WDC_SIZES
+
+    print("Magellan benchmarks (Table 1):")
+    for name, info in MAGELLAN_DATASETS.items():
+        dirty = " [+dirty]" if name in DIRTY_DATASETS else ""
+        print(f"  {name:16s} {info.domain:12s} paper size {info.size:7d} "
+              f"pos {info.positives:6d}{dirty}")
+    print(f"WDC domains: {', '.join(WDC_DOMAINS)} + all; sizes: {', '.join(WDC_SIZES)}")
+    print("DI2KG (collective): camera, monitor")
+    return 0
+
+
+def cmd_train(args) -> int:
+    _apply_scale(args)
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.dataset, dirty=args.dirty)
+    print(dataset.summary())
+    matcher = _make_matcher(args.matcher)
+    if args.matcher == "hiergat+":
+        print("hiergat+ is collective; use --dataset with a raw-table benchmark",
+              file=sys.stderr)
+        from repro.harness.collective import load_collective_dataset
+        from repro.config import get_scale
+
+        collective = load_collective_dataset(args.dataset, get_scale())
+        matcher.fit(collective)
+        print(f"test F1 = {matcher.test_f1_collective(collective):.1f}")
+        return 0
+    matcher.fit(dataset)
+    print(f"test F1 = {matcher.test_f1(dataset):.1f}")
+    if args.save:
+        from repro.persistence import save_matcher
+
+        print(f"saved to {save_matcher(matcher, args.save)}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    _apply_scale(args)
+    from repro.harness import EXPERIMENTS
+
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments {unknown}; available: {sorted(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    for experiment in args.experiments:
+        print(EXPERIMENTS[experiment]().render())
+        print()
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    _apply_scale(args)
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.dataset, dirty=args.dirty)
+    print(dataset.summary())
+    shown = 0
+    for pair in dataset.pairs:
+        if shown >= args.num:
+            break
+        tag = "MATCH    " if pair.label else "NON-MATCH"
+        print(f"\n[{tag}]")
+        print("  A:", dict(pair.left.attributes))
+        print("  B:", dict(pair.right.attributes))
+        shown += 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available benchmarks")
+
+    train = sub.add_parser("train", help="train a matcher on a benchmark")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--matcher", choices=MATCHER_CHOICES, default="hiergat")
+    train.add_argument("--dirty", action="store_true")
+    train.add_argument("--save", default=None, help="save fitted model to .npz")
+    train.add_argument("--fast", action="store_true", help="tiny CI scale")
+
+    bench = sub.add_parser("bench", help="regenerate paper tables/figures")
+    bench.add_argument("experiments", nargs="+")
+    bench.add_argument("--fast", action="store_true")
+
+    inspect = sub.add_parser("inspect", help="print sample pairs")
+    inspect.add_argument("--dataset", required=True)
+    inspect.add_argument("--dirty", action="store_true")
+    inspect.add_argument("--num", type=int, default=3)
+    inspect.add_argument("--fast", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "train": cmd_train,
+        "bench": cmd_bench,
+        "inspect": cmd_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

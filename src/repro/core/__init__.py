@@ -1,0 +1,51 @@
+"""The paper's core contribution: HHG, HierGAT, and HierGAT+.
+
+Public API::
+
+    from repro.core import HHG, HierGAT, HierGATPlus, HierGATConfig
+    from repro.core import ContextFlags, precision_recall_f1
+
+Attributes resolve lazily (PEP 562) because :mod:`repro.matchers` and
+:mod:`repro.core` reference each other: matchers use the core metrics and
+trainer, while HierGAT reuses the matcher plumbing.
+"""
+
+_EXPORTS = {
+    "HHG": "repro.core.hhg",
+    "AttributeNode": "repro.core.hhg",
+    "EntityNode": "repro.core.hhg",
+    "ContextFlags": "repro.core.context",
+    "ContextualEmbedder": "repro.core.context",
+    "AttributeSummarizer": "repro.core.aggregation",
+    "EntitySummarizer": "repro.core.aggregation",
+    "COMPARISON_MODES": "repro.core.comparison",
+    "AttributeComparator": "repro.core.comparison",
+    "EntityComparator": "repro.core.comparison",
+    "EntityAlignment": "repro.core.alignment",
+    "HierGAT": "repro.core.hiergat",
+    "HierGATConfig": "repro.core.hiergat",
+    "HierGATNetwork": "repro.core.hiergat",
+    "HierGATPlus": "repro.core.hiergat",
+    "PRF1": "repro.core.metrics",
+    "best_threshold_f1": "repro.core.metrics",
+    "f1_score": "repro.core.metrics",
+    "precision_recall_f1": "repro.core.metrics",
+    "TrainConfig": "repro.core.trainer",
+    "TrainResult": "repro.core.trainer",
+    "train_pair_classifier": "repro.core.trainer",
+    "attention_report": "repro.core.attention_viz",
+    "explain": "repro.core.explanations",
+    "Explanation": "repro.core.explanations",
+    "AttentionReport": "repro.core.attention_viz",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,64 @@
+"""Hierarchical aggregation for entity embeddings (Section 5.1).
+
+* :class:`AttributeSummarizer` — the Attribute Summarization Layer: a
+  Transformer aggregates an attribute's (WpC-enriched) token embeddings via
+  self-attention; the [CLS] position is the attribute embedding.
+* :class:`EntitySummarizer` — the Entity Summarization Layer (Algorithm 1):
+  the entity embedding concatenates its attribute embeddings; a fixed-width
+  mean view is also exposed because Equation 4 needs a constant-size context
+  regardless of the attribute count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, concat, stack
+from repro.nn import Module, TransformerEncoder
+
+
+class AttributeSummarizer(Module):
+    """[CLS]-pooled transformer over one attribute's token sequence."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.encoder = TransformerEncoder(dim, num_layers=1, num_heads=num_heads,
+                                          dropout=dropout, rng=rng)
+
+    def forward(self, wpc: Tensor, mask: np.ndarray) -> Tensor:
+        """``(batch, seq, dim)`` WpC tokens → ``(batch, dim)`` attribute embeddings.
+
+        Sequences carry [CLS] at position 0 (prepended by the encoder layer);
+        positional encodings capture the word order (Section 5.1.1).
+        """
+        return self.encoder.cls_output(wpc, pad_mask=mask)
+
+    def attention_map(self) -> Optional[np.ndarray]:
+        """Last [CLS]-row attention (batch, seq): token importances (Figure 9)."""
+        maps = self.encoder.attention_maps()
+        if not maps:
+            return None
+        return maps[-1].mean(axis=1)[:, 0, :]  # average heads, [CLS] query row
+
+
+class EntitySummarizer(Module):
+    """Concatenate attribute embeddings into the entity embedding (Algorithm 1)."""
+
+    def forward(self, attribute_embeddings: List[Tensor]) -> Tensor:
+        """``K × (batch, dim)`` → ``(batch, K*dim)`` concatenated entity embedding."""
+        if not attribute_embeddings:
+            raise ValueError("entity has no attribute embeddings")
+        return concat(attribute_embeddings, axis=1)
+
+    @staticmethod
+    def mean_view(attribute_embeddings: List[Tensor]) -> Tensor:
+        """Fixed-width entity view: the mean of attribute embeddings.
+
+        Used as the Equation 4 context so the score vector's size does not
+        depend on the dataset's attribute count.
+        """
+        stacked = stack(attribute_embeddings, axis=1)  # (batch, K, dim)
+        return stacked.mean(axis=1)

@@ -1,0 +1,99 @@
+"""Probability calibration diagnostics for matcher scores.
+
+Matching matrices downstream of ER are often consumed with thresholds other
+than the training one (precision-biased dedup, recall-biased blocking
+audits), which only works if ``Matcher.scores`` are reasonably calibrated.
+This module provides the standard diagnostics: reliability curves, expected
+calibration error (ECE), Brier score, and a validation-set temperature
+rescaling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityBin:
+    """One bin of the reliability diagram."""
+
+    lower: float
+    upper: float
+    mean_score: float
+    positive_rate: float
+    count: int
+
+
+@dataclasses.dataclass
+class CalibrationReport:
+    """ECE, Brier score, and the reliability curve."""
+
+    expected_calibration_error: float
+    brier_score: float
+    bins: List[ReliabilityBin]
+
+    def render(self) -> str:
+        lines = [f"ECE={self.expected_calibration_error:.3f} "
+                 f"Brier={self.brier_score:.3f}"]
+        for b in self.bins:
+            bar = "#" * int(round(b.positive_rate * 20))
+            lines.append(f"  [{b.lower:.1f},{b.upper:.1f}) n={b.count:4d} "
+                         f"mean={b.mean_score:.2f} pos={b.positive_rate:.2f} {bar}")
+        return "\n".join(lines)
+
+
+def calibration_report(scores: Sequence[float], labels: Sequence[int],
+                       num_bins: int = 10) -> CalibrationReport:
+    """Bin scores and compare predicted probability with empirical rate."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must align")
+    if len(scores) == 0:
+        raise ValueError("no scores to calibrate")
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: List[ReliabilityBin] = []
+    ece = 0.0
+    for lower, upper in zip(edges[:-1], edges[1:]):
+        mask = (scores >= lower) & (scores < upper if upper < 1.0 else scores <= upper)
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        mean_score = float(scores[mask].mean())
+        positive_rate = float(labels[mask].mean())
+        bins.append(ReliabilityBin(lower=float(lower), upper=float(upper),
+                                   mean_score=mean_score,
+                                   positive_rate=positive_rate, count=count))
+        ece += (count / len(scores)) * abs(mean_score - positive_rate)
+    brier = float(((scores - labels) ** 2).mean())
+    return CalibrationReport(expected_calibration_error=ece,
+                             brier_score=brier, bins=bins)
+
+
+def fit_temperature(scores: Sequence[float], labels: Sequence[int],
+                    grid: Sequence[float] = tuple(np.geomspace(0.25, 4.0, 25))) -> float:
+    """Grid-search a logit temperature minimising NLL on held-out data.
+
+    Returns the temperature T; apply with :func:`apply_temperature`.
+    """
+    scores = np.clip(np.asarray(scores, dtype=np.float64), 1e-6, 1 - 1e-6)
+    labels = np.asarray(labels, dtype=np.float64)
+    logits = np.log(scores / (1 - scores))
+    best_t, best_nll = 1.0, np.inf
+    for t in grid:
+        p = 1.0 / (1.0 + np.exp(-logits / t))
+        p = np.clip(p, 1e-9, 1 - 1e-9)
+        nll = float(-(labels * np.log(p) + (1 - labels) * np.log(1 - p)).mean())
+        if nll < best_nll:
+            best_nll, best_t = nll, float(t)
+    return best_t
+
+
+def apply_temperature(scores: Sequence[float], temperature: float) -> np.ndarray:
+    """Rescale probabilities through a logit temperature."""
+    scores = np.clip(np.asarray(scores, dtype=np.float64), 1e-6, 1 - 1e-6)
+    logits = np.log(scores / (1 - scores))
+    return 1.0 / (1.0 + np.exp(-logits / temperature))

@@ -1,0 +1,95 @@
+"""Hierarchical comparison for entity similarity embeddings (Section 5.2).
+
+* :class:`AttributeComparator` — the Attribute Comparison Layer: the two
+  attributes' (WpC-enriched) token sequences are joined as
+  ``{[CLS], e1.v^a, [SEP], e2.v^a, [SEP]}`` and run through the pre-trained
+  transformer; [CLS] is the attribute similarity embedding ``S^a_k``.
+* :class:`EntityComparator` — the Entity Comparison Layer: combines the K
+  attribute similarity embeddings into one entity similarity embedding using
+  one of the three multi-view strategies of Section 5.2.2 (Table 10):
+  view averaging, shared-space learning, or weight averaging (Equation 4's
+  structural attention — the paper's choice).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, concat, stack
+from repro.lm.registry import PretrainedLM
+from repro.nn import Linear, MaskedAttnPool, Module
+
+#: The three multi-view combination strategies of Section 5.2.2.
+COMPARISON_MODES = ("weight_average", "view_average", "shared_space")
+
+
+class AttributeComparator(Module):
+    """[CLS]-pooled transformer over the joined left/right attribute tokens."""
+
+    def __init__(self, lm: PretrainedLM):
+        super().__init__()
+        self.lm = lm
+        self._sep_id = lm.vocab.sep_id
+        self._cls_id = lm.vocab.cls_id
+
+    def forward(self, left_wpc: Tensor, left_mask: np.ndarray,
+                right_wpc: Tensor, right_mask: np.ndarray) -> Tensor:
+        """``S^a_k`` similarity embeddings ``(batch, dim)``.
+
+        Inputs are WpC token sequences whose position 0 is the [CLS] slot;
+        the joined sequence re-uses the left [CLS] as its classification
+        token and inserts [SEP] embeddings between and after the sides.
+        """
+        batch = left_wpc.shape[0]
+        sep = self.lm.embed(np.full((batch, 1), self._sep_id, dtype=np.int64))
+        joined = concat([left_wpc, sep, right_wpc[:, 1:, :], sep], axis=1)
+        ones = np.ones((batch, 1), dtype=bool)
+        mask = np.concatenate([left_mask, ones, right_mask[:, 1:], ones], axis=1)
+        return self.lm.encoder.cls_output(joined, pad_mask=mask)
+
+
+class EntityComparator(Module):
+    """Combine attribute similarity embeddings into ``S^e_{lr}``."""
+
+    def __init__(self, dim: int, mode: str = "weight_average",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if mode not in COMPARISON_MODES:
+            raise ValueError(f"unknown comparison mode {mode!r}; choose from {COMPARISON_MODES}")
+        self.mode = mode
+        self.dim = dim
+        if mode == "weight_average":
+            # Equation 4: score context is the concatenated entity pair (2*dim).
+            self.pool = MaskedAttnPool(dim, context_dim=2 * dim,
+                                       use_projection=False, rng=rng)
+        elif mode == "shared_space":
+            self.shared = Linear(dim, dim, rng=rng)
+        self._last_weights: Optional[np.ndarray] = None
+
+    @property
+    def last_weights(self) -> Optional[np.ndarray]:
+        """Per-attribute attention h_k from the last weight-average call."""
+        return self._last_weights
+
+    def forward(self, similarity_embeddings: List[Tensor],
+                entity_context: Optional[Tensor] = None) -> Tensor:
+        """``K × (batch, dim)`` similarities → ``(batch, dim)`` entity similarity.
+
+        ``entity_context`` is ``(batch, 2*dim)`` — the concatenated
+        (mean-view) embeddings of the two entities (Equation 4's v_lr).  When
+        omitted (the Table 11 "Non-Sum" ablation), the weight-average scores
+        fall back to attending over the similarities alone.
+        """
+        stacked = stack(similarity_embeddings, axis=1)  # (batch, K, dim)
+        if self.mode == "view_average":
+            return stacked.mean(axis=1)
+        if self.mode == "shared_space":
+            return self.shared(stacked).mean(axis=1)
+        if entity_context is None:
+            zeros = np.zeros((stacked.shape[0], 2 * self.dim), dtype=stacked.data.dtype)
+            entity_context = Tensor(zeros)
+        pooled = self.pool(stacked, extra=entity_context)
+        self._last_weights = self.pool.last_weights
+        return pooled

@@ -1,0 +1,194 @@
+"""The Hierarchical Heterogeneous Graph (HHG) — Section 2.2.
+
+Three node layers:
+
+* **token nodes** — one per *distinct* word across all input entities (a word
+  appearing in several attributes or entities is still a single node);
+* **attribute nodes** — one per ``<key, val>`` pair of each entity (keys are
+  *not* merged across entities: two entities each contribute their own
+  ``desc`` node);
+* **entity nodes** — one per input entity.
+
+Three relation types: token–attribute, attribute–entity, and entity–entity
+(the matching-relation network connecting a query to its candidates).
+
+Word order matters (Section 2.2: "we use the orders of words in the attribute
+node to represent the word positions"), so each attribute node stores its
+token references *in sequence*, possibly repeating a token node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Entity
+from repro.text.serialize import attribute_token_lists
+
+
+@dataclasses.dataclass
+class AttributeNode:
+    """One <key, val> pair: which entity it belongs to and its token sequence."""
+
+    index: int
+    entity_index: int
+    key: str
+    token_sequence: List[int]  # ordered token-node indices (repeats allowed)
+
+    @property
+    def token_set(self) -> List[int]:
+        seen: set = set()
+        out: List[int] = []
+        for t in self.token_sequence:
+            if t not in seen:
+                seen.add(t)
+                out.append(t)
+        return out
+
+
+@dataclasses.dataclass
+class EntityNode:
+    """One entity: the ordered attribute nodes composing it."""
+
+    index: int
+    uid: str
+    attribute_indices: List[int]
+
+
+class HHG:
+    """Hierarchical heterogeneous graph over a set of entities."""
+
+    def __init__(self, entities: Sequence[Entity], max_value_tokens: int = 0):
+        if not entities:
+            raise ValueError("HHG needs at least one entity")
+        self.tokens: List[str] = []
+        self._token_index: Dict[str, int] = {}
+        self.attributes: List[AttributeNode] = []
+        self.entities: List[EntityNode] = []
+
+        for entity_index, entity in enumerate(entities):
+            attr_indices: List[int] = []
+            for key, value_tokens in attribute_token_lists(entity, max_value_tokens=max_value_tokens):
+                sequence = [self._intern(t) for t in value_tokens]
+                node = AttributeNode(
+                    index=len(self.attributes),
+                    entity_index=entity_index,
+                    key=key,
+                    token_sequence=sequence,
+                )
+                self.attributes.append(node)
+                attr_indices.append(node.index)
+            self.entities.append(EntityNode(
+                index=entity_index, uid=entity.uid, attribute_indices=attr_indices,
+            ))
+
+    def _intern(self, token: str) -> int:
+        idx = self._token_index.get(token)
+        if idx is None:
+            idx = len(self.tokens)
+            self._token_index[token] = idx
+            self.tokens.append(token)
+        return idx
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tokens(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entities)
+
+    def token_index(self, token: str) -> Optional[int]:
+        return self._token_index.get(token)
+
+    # ------------------------------------------------------------------
+    # Structure queries used by the model layers
+    # ------------------------------------------------------------------
+    def attributes_of(self, entity_index: int) -> List[AttributeNode]:
+        return [self.attributes[i] for i in self.entities[entity_index].attribute_indices]
+
+    def unique_keys(self) -> List[str]:
+        """Distinct attribute keys in first-seen order (the paper's V̄^a)."""
+        seen: set = set()
+        out: List[str] = []
+        for node in self.attributes:
+            if node.key not in seen:
+                seen.add(node.key)
+                out.append(node.key)
+        return out
+
+    def attributes_with_key(self, key: str) -> List[AttributeNode]:
+        return [a for a in self.attributes if a.key == key]
+
+    def token_entity_degree(self) -> np.ndarray:
+        """For each token node, in how many distinct entities it appears."""
+        owners: List[set] = [set() for _ in range(self.num_tokens)]
+        for attr in self.attributes:
+            for t in attr.token_set:
+                owners[t].add(attr.entity_index)
+        return np.array([len(o) for o in owners], dtype=np.int64)
+
+    def common_tokens(self, min_entities: int = 2) -> List[int]:
+        """Token nodes shared by ≥ ``min_entities`` entities (redundant context)."""
+        degree = self.token_entity_degree()
+        return [i for i in range(self.num_tokens) if degree[i] >= min_entities]
+
+    def common_tokens_of_key(self, key: str, common: Optional[List[int]] = None) -> List[int]:
+        """Common tokens appearing under attribute nodes with ``key`` (Ṽ^t_{a_j})."""
+        common_set = set(self.common_tokens() if common is None else common)
+        out: List[int] = []
+        seen: set = set()
+        for attr in self.attributes_with_key(key):
+            for t in attr.token_sequence:
+                if t in common_set and t not in seen:
+                    seen.add(t)
+                    out.append(t)
+        return out
+
+    # ------------------------------------------------------------------
+    # Dense adjacency (for the GCN / GAT baselines)
+    # ------------------------------------------------------------------
+    def dense_adjacency(self, entity_edges: Optional[Sequence[Tuple[int, int]]] = None) -> np.ndarray:
+        """Boolean adjacency over all nodes ordered [tokens | attributes | entities].
+
+        ``entity_edges`` adds entity–entity edges (the matching-relation
+        network); by default entities are unconnected.
+        """
+        nt, na, ne = self.num_tokens, self.num_attributes, self.num_entities
+        n = nt + na + ne
+        adj = np.zeros((n, n), dtype=bool)
+        for attr in self.attributes:
+            a = nt + attr.index
+            for t in attr.token_set:
+                adj[t, a] = adj[a, t] = True
+            e = nt + na + attr.entity_index
+            adj[a, e] = adj[e, a] = True
+        for i, j in entity_edges or ():
+            adj[nt + na + i, nt + na + j] = adj[nt + na + j, nt + na + i] = True
+        return adj
+
+    def token_attribute_adjacency(self) -> np.ndarray:
+        """(num_attributes, num_tokens) membership matrix."""
+        adj = np.zeros((self.num_attributes, self.num_tokens), dtype=bool)
+        for attr in self.attributes:
+            for t in attr.token_set:
+                adj[attr.index, t] = True
+        return adj
+
+    def attribute_entity_adjacency(self) -> np.ndarray:
+        """(num_entities, num_attributes) membership matrix."""
+        adj = np.zeros((self.num_entities, self.num_attributes), dtype=bool)
+        for attr in self.attributes:
+            adj[attr.entity_index, attr.index] = True
+        return adj
+
+    def __repr__(self) -> str:
+        return (f"HHG(tokens={self.num_tokens}, attributes={self.num_attributes}, "
+                f"entities={self.num_entities})")

@@ -1,0 +1,57 @@
+"""Evaluation metrics — F1 score as in all the paper's tables."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class PRF1:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    def __str__(self) -> str:
+        return f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}"
+
+
+def precision_recall_f1(predictions: Sequence[int], labels: Sequence[int]) -> PRF1:
+    """Compute P/R/F1 for binary predictions against 0/1 labels."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {predictions.shape} vs {labels.shape}")
+    tp = int(((predictions == 1) & (labels == 1)).sum())
+    fp = int(((predictions == 1) & (labels == 0)).sum())
+    fn = int(((predictions == 0) & (labels == 1)).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return PRF1(precision=precision, recall=recall, f1=f1,
+                true_positives=tp, false_positives=fp, false_negatives=fn)
+
+
+def f1_score(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """F1 in percent, matching how the paper reports it (e.g. 93.3)."""
+    return precision_recall_f1(predictions, labels).f1 * 100.0
+
+
+def best_threshold_f1(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """The threshold on ``scores`` maximising F1 (validation-set tuning)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    candidates = np.unique(scores)
+    best_t, best_f1 = 0.5, -1.0
+    for t in candidates:
+        f1 = precision_recall_f1((scores >= t).astype(int), labels).f1
+        if f1 > best_f1:
+            best_f1, best_t = f1, float(t)
+    return best_t

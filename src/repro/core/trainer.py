@@ -1,0 +1,137 @@
+"""Shared training loop for the neural matchers.
+
+All neural models (DeepMatcher, Ditto, HierGAT, …) train the same way
+(Section 6.1): Adam, fixed epochs, per-epoch validation to keep the best
+checkpoint and avoid over-fitting.  This module factors that loop out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F, no_grad
+from repro.autograd.optim import Adam, clip_grad_norm
+from repro.config import Scale, get_scale
+from repro.core.metrics import precision_recall_f1
+from repro.data.schema import EntityPair
+from repro.nn import Module
+
+
+@dataclasses.dataclass
+class TrainConfig:
+    """Optimisation hyper-parameters (defaults follow the active Scale)."""
+
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    grad_clip: float = 5.0
+    positive_weight: float = 1.0
+    seed: int = 0
+
+    @classmethod
+    def from_scale(cls, scale: Optional[Scale] = None, **overrides) -> "TrainConfig":
+        scale = scale or get_scale()
+        values = dict(
+            epochs=scale.epochs,
+            batch_size=scale.batch_size,
+            learning_rate=scale.learning_rate,
+            seed=scale.seed,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Loss curve and per-epoch validation F1 of one training run."""
+
+    losses: List[float]
+    valid_f1: List[float]
+    best_epoch: int
+    best_f1: float
+
+
+# A forward function maps a list of pairs to (n, 2) match logits.
+ForwardFn = Callable[[Sequence[EntityPair]], Tensor]
+
+
+def train_pair_classifier(
+    model: Module,
+    forward: ForwardFn,
+    train_pairs: Sequence[EntityPair],
+    valid_pairs: Sequence[EntityPair],
+    config: TrainConfig,
+) -> TrainResult:
+    """Train ``model`` so that ``forward(pairs)`` separates match/non-match.
+
+    Keeps the best validation-F1 parameters (restored before returning), as
+    the paper does ("each epoch is verified by the validation set to avoid
+    over-fitting").
+    """
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    class_weight = None
+    if config.positive_weight != 1.0:
+        class_weight = np.array([1.0, config.positive_weight])
+
+    losses: List[float] = []
+    valid_f1: List[float] = []
+    best_f1 = -1.0
+    best_epoch = -1
+    best_state: Optional[Dict[str, np.ndarray]] = None
+
+    indices = np.arange(len(train_pairs))
+    for epoch in range(config.epochs):
+        model.train()
+        rng.shuffle(indices)
+        epoch_losses: List[float] = []
+        for start in range(0, len(indices), config.batch_size):
+            batch = [train_pairs[int(i)] for i in indices[start:start + config.batch_size]]
+            labels = np.array([p.label for p in batch])
+            logits = forward(batch)
+            loss = F.cross_entropy(logits, labels, weight=class_weight)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+
+        f1 = evaluate_forward(model, forward, valid_pairs, config.batch_size) if valid_pairs else 0.0
+        valid_f1.append(f1)
+        if f1 >= best_f1:
+            best_f1 = f1
+            best_epoch = epoch
+            best_state = model.state_dict()
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    model.eval()
+    return TrainResult(losses=losses, valid_f1=valid_f1, best_epoch=best_epoch, best_f1=best_f1)
+
+
+def predict_forward(model: Module, forward: ForwardFn,
+                    pairs: Sequence[EntityPair], batch_size: int) -> np.ndarray:
+    """Batched inference: match probabilities for ``pairs``."""
+    model.eval()
+    scores: List[float] = []
+    with no_grad():
+        for start in range(0, len(pairs), batch_size):
+            batch = list(pairs[start:start + batch_size])
+            logits = forward(batch)
+            probs = F.softmax(logits, axis=-1).data[:, 1]
+            scores.extend(float(p) for p in probs)
+    return np.asarray(scores)
+
+
+def evaluate_forward(model: Module, forward: ForwardFn,
+                     pairs: Sequence[EntityPair], batch_size: int) -> float:
+    """Validation F1 in [0, 1] at the 0.5 decision threshold."""
+    if not pairs:
+        return 0.0
+    scores = predict_forward(model, forward, pairs, batch_size)
+    labels = [p.label for p in pairs]
+    return precision_recall_f1((scores >= 0.5).astype(int), labels).f1

@@ -1,0 +1,40 @@
+"""Dataset substrate: schemas, synthetic benchmark generators, and splits.
+
+The paper evaluates on the Magellan/DeepMatcher benchmark suite (Table 1),
+the WDC product-matching corpus (Table 2), and DI2KG (Table 6).  None of
+those files are available offline, so this package generates seeded synthetic
+equivalents that preserve each dataset's *shape*: domain schema, number of
+attributes, approximate size, positive ratio, and noise characteristics.
+See DESIGN.md §2 for the substitution rationale.
+
+Entry points::
+
+    from repro.data import load_dataset, MAGELLAN_DATASETS
+    dataset = load_dataset("Amazon-Google", seed=7)
+    dirty = load_dataset("Walmart-Amazon", dirty=True)
+"""
+
+from repro.data.schema import Entity, EntityPair, PairDataset, Split
+from repro.data.magellan import MAGELLAN_DATASETS, DIRTY_DATASETS, load_dataset
+from repro.data.wdc import WDC_DOMAINS, WDC_SIZES, load_wdc
+from repro.data.di2kg import DI2KG_CATEGORIES, load_di2kg_tables
+from repro.data.collective import CollectiveDataset, build_collective_dataset
+from repro.data.dirty import make_dirty
+
+__all__ = [
+    "Entity",
+    "EntityPair",
+    "PairDataset",
+    "Split",
+    "MAGELLAN_DATASETS",
+    "DIRTY_DATASETS",
+    "load_dataset",
+    "WDC_DOMAINS",
+    "WDC_SIZES",
+    "load_wdc",
+    "DI2KG_CATEGORIES",
+    "load_di2kg_tables",
+    "CollectiveDataset",
+    "build_collective_dataset",
+    "make_dirty",
+]

@@ -1,0 +1,92 @@
+"""Data augmentation for ER training (the Ditto-family "optimizations").
+
+Section 6.1 notes Ditto ships optimizations that "are based on domain
+knowledge and may not generalize"; its core domain-agnostic one is data
+augmentation over serialized pairs (Ditto §4.3 / Rotom).  We provide the
+standard operator set so the extension benchmarks can measure its effect:
+
+* ``del``       — delete a random token span
+* ``shuffle``   — shuffle a short token span
+* ``swap``      — exchange the two entities (matching is symmetric)
+* ``attr_del``  — drop one whole attribute value
+* ``attr_shuffle`` — permute attribute order
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import Entity, EntityPair
+from repro.text.tokenizer import tokenize
+from repro.text.vocab import NAN_TOKEN
+
+AUGMENT_OPERATORS = ("del", "shuffle", "swap", "attr_del", "attr_shuffle")
+
+
+def _span(rng: np.random.Generator, n: int, max_len: int = 3):
+    if n == 0:
+        return 0, 0
+    length = int(rng.integers(1, min(max_len, n) + 1))
+    start = int(rng.integers(0, n - length + 1))
+    return start, start + length
+
+
+def _augment_value(value: str, op: str, rng: np.random.Generator) -> str:
+    tokens = tokenize(value)
+    if len(tokens) < 2:
+        return value
+    start, stop = _span(rng, len(tokens))
+    if op == "del":
+        tokens = tokens[:start] + tokens[stop:]
+    elif op == "shuffle":
+        segment = tokens[start:stop]
+        rng.shuffle(segment)
+        tokens = tokens[:start] + segment + tokens[stop:]
+    return " ".join(tokens) if tokens else NAN_TOKEN
+
+
+def augment_entity(entity: Entity, op: str, rng: np.random.Generator) -> Entity:
+    """Apply a token/attribute-level operator to one entity."""
+    attrs = list(entity.attributes)
+    if op in ("del", "shuffle"):
+        slot = int(rng.integers(0, len(attrs)))
+        key, value = attrs[slot]
+        attrs[slot] = (key, _augment_value(value, op, rng))
+    elif op == "attr_del":
+        slot = int(rng.integers(0, len(attrs)))
+        attrs[slot] = (attrs[slot][0], NAN_TOKEN)
+    elif op == "attr_shuffle":
+        order = rng.permutation(len(attrs))
+        attrs = [attrs[int(i)] for i in order]
+    return entity.replace_attributes(attrs)
+
+
+def augment_pair(pair: EntityPair, op: Optional[str] = None,
+                 rng: Optional[np.random.Generator] = None) -> EntityPair:
+    """Label-preserving augmentation of one pair."""
+    rng = rng or np.random.default_rng()
+    op = op or str(rng.choice(AUGMENT_OPERATORS))
+    if op not in AUGMENT_OPERATORS:
+        raise ValueError(f"unknown operator {op!r}; choose from {AUGMENT_OPERATORS}")
+    if op == "swap":
+        return pair.swapped()
+    side = rng.random() < 0.5
+    if side:
+        return EntityPair(augment_entity(pair.left, op, rng), pair.right, pair.label)
+    return EntityPair(pair.left, augment_entity(pair.right, op, rng), pair.label)
+
+
+def augment_training_set(pairs: Sequence[EntityPair], factor: float = 1.0,
+                         seed: int = 0,
+                         operators: Sequence[str] = AUGMENT_OPERATORS) -> List[EntityPair]:
+    """Return the original pairs plus ``factor`` × len(pairs) augmented copies."""
+    rng = np.random.default_rng(seed)
+    out = list(pairs)
+    extra = int(round(len(pairs) * factor))
+    for _ in range(extra):
+        source = pairs[int(rng.integers(0, len(pairs)))]
+        op = str(rng.choice(list(operators)))
+        out.append(augment_pair(source, op=op, rng=rng))
+    return out

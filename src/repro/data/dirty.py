@@ -1,0 +1,53 @@
+"""Dirty-data corruption following the DeepMatcher protocol.
+
+Section 6.1: "In the dirty datasets the entity structure is corrupted by
+randomly injecting attribute values into other attributes.  For example, the
+title attribute may contain the price information."  We move a random
+attribute's value into another attribute (appending it there and replacing
+the origin with NAN) for a fraction of the entities.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.data.schema import Entity, EntityPair
+from repro.text.vocab import NAN_TOKEN
+
+
+def dirty_entity(entity: Entity, rng: np.random.Generator,
+                 injection_prob: float = 0.5) -> Entity:
+    """Randomly inject one attribute's value into another attribute."""
+    if len(entity.attributes) < 2 or rng.random() > injection_prob:
+        return entity
+    n = len(entity.attributes)
+    src = int(rng.integers(0, n))
+    dst = src
+    while dst == src:
+        dst = int(rng.integers(0, n))
+    items = [list(kv) for kv in entity.attributes]
+    src_value = items[src][1]
+    if src_value == NAN_TOKEN:
+        return entity
+    if items[dst][1] == NAN_TOKEN:
+        items[dst][1] = src_value
+    else:
+        items[dst][1] = items[dst][1] + " " + src_value
+    items[src][1] = NAN_TOKEN
+    return entity.replace_attributes([tuple(kv) for kv in items])
+
+
+def make_dirty(pairs: List[EntityPair], seed: int,
+               injection_prob: float = 0.5) -> List[EntityPair]:
+    """Apply dirty-data corruption to every entity in a pair list."""
+    rng = np.random.default_rng(seed)
+    return [
+        EntityPair(
+            left=dirty_entity(pair.left, rng, injection_prob),
+            right=dirty_entity(pair.right, rng, injection_prob),
+            label=pair.label,
+        )
+        for pair in pairs
+    ]

@@ -1,0 +1,258 @@
+"""Generic machinery for synthesising ER benchmarks.
+
+The generators work in three stages, mirroring how the real benchmarks came
+to be:
+
+1. **Canonical universe** — a set of ground-truth entities, organised into
+   *families* (same brand / same artist / same paper cluster).  Members of a
+   family share most context words and differ only in discriminative tokens,
+   which recreates the paper's Figure 1 situation: pairs that overlap heavily
+   yet refer to different entities.
+2. **Views** — each canonical entity is rendered into one record per data
+   source with source-specific formatting noise (token drops, abbreviations,
+   typos, reorderings, missing values).  Noise intensity is the per-dataset
+   difficulty knob.
+3. **Pair sampling** — positives pair two views of the same entity; negatives
+   pair views of *different* entities, preferring same-family ("hard")
+   negatives, which is what blocking output looks like.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import Entity, EntityPair
+from repro.data.wordlists import FILLER_WORDS
+
+
+@dataclasses.dataclass
+class CanonicalEntity:
+    """Ground-truth entity: attribute → token list, plus its family id."""
+
+    uid: str
+    family: int
+    values: Dict[str, List[str]]
+
+
+# A domain factory returns the canonical attribute values for one entity of
+# family ``family`` with variant index ``variant`` inside the family.
+DomainFactory = Callable[[np.random.Generator, int, int], Dict[str, List[str]]]
+
+
+@dataclasses.dataclass
+class DomainSpec:
+    """Everything needed to synthesise one benchmark dataset.
+
+    Attributes:
+        name: dataset name (e.g. ``Amazon-Google``).
+        domain: paper's domain label (e.g. ``software``).
+        attributes: ordered attribute names.
+        factory: canonical entity factory.
+        noise: view-corruption intensity in [0, 1] — the difficulty knob.
+        family_size: members per entity family (≥2 enables hard negatives).
+        hard_negative_fraction: share of negatives drawn inside a family.
+        numeric_attributes: attribute names holding numbers (jittered, not
+            typo-corrupted).
+    """
+
+    name: str
+    domain: str
+    attributes: Tuple[str, ...]
+    factory: DomainFactory
+    noise: float
+    family_size: int = 3
+    hard_negative_fraction: float = 0.7
+    numeric_attributes: Tuple[str, ...] = ()
+
+
+class ViewCorruptor:
+    """Renders a canonical entity into a noisy per-source record."""
+
+    def __init__(self, noise: float, rng: np.random.Generator,
+                 numeric_attributes: Sequence[str] = ()):
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self.noise = noise
+        self.rng = rng
+        self.numeric_attributes = set(numeric_attributes)
+
+    # -- token-level perturbations ------------------------------------
+    def _typo(self, token: str) -> str:
+        if len(token) < 4:
+            return token
+        i = int(self.rng.integers(0, len(token) - 1))
+        chars = list(token)
+        chars[i], chars[i + 1] = chars[i + 1], chars[i]
+        return "".join(chars)
+
+    def _abbreviate(self, token: str) -> str:
+        return token[:3] if len(token) > 4 else token
+
+    def _corrupt_tokens(self, tokens: List[str]) -> List[str]:
+        out: List[str] = []
+        n = self.noise
+        for token in tokens:
+            roll = self.rng.random()
+            if roll < 0.10 * n:
+                continue  # drop
+            if roll < 0.16 * n:
+                out.append(self._typo(token))
+                continue
+            if roll < 0.22 * n:
+                out.append(self._abbreviate(token))
+                continue
+            out.append(token)
+            if self.rng.random() < 0.08 * n:
+                out.append(str(self.rng.choice(FILLER_WORDS)))
+        if len(out) > 3 and self.rng.random() < 0.25 * n:
+            # swap one adjacent token pair (order noise)
+            i = int(self.rng.integers(0, len(out) - 1))
+            out[i], out[i + 1] = out[i + 1], out[i]
+        return out
+
+    def _jitter_number(self, tokens: List[str]) -> List[str]:
+        out: List[str] = []
+        for token in tokens:
+            try:
+                value = float(token)
+            except ValueError:
+                out.append(token)
+                continue
+            if self.rng.random() < 0.6 * self.noise:
+                value = value * float(1.0 + self.rng.normal(0, 0.05))
+            out.append(f"{value:.2f}".rstrip("0").rstrip("."))
+        return out
+
+    # -- entity-level rendering ----------------------------------------
+    def render(self, canonical: CanonicalEntity, source: str) -> Entity:
+        values: Dict[str, str] = {}
+        for key, tokens in canonical.values.items():
+            if self.rng.random() < 0.06 * self.noise:
+                values[key] = ""  # becomes NAN via Entity.from_dict
+                continue
+            if key in self.numeric_attributes:
+                rendered = self._jitter_number(list(tokens))
+            else:
+                rendered = self._corrupt_tokens(list(tokens))
+            values[key] = " ".join(rendered)
+        return Entity.from_dict(uid=f"{canonical.uid}:{source}", values=values, source=source)
+
+
+def build_universe(spec: DomainSpec, num_entities: int,
+                   rng: np.random.Generator) -> List[CanonicalEntity]:
+    """Create the canonical ground-truth universe organised into families."""
+    universe: List[CanonicalEntity] = []
+    family = 0
+    while len(universe) < num_entities:
+        members = min(spec.family_size, num_entities - len(universe))
+        for variant in range(members):
+            values = spec.factory(rng, family, variant)
+            missing = set(spec.attributes) - set(values)
+            if missing:
+                raise ValueError(f"{spec.name} factory missed attributes {missing}")
+            uid = f"{spec.name}-f{family}v{variant}"
+            universe.append(CanonicalEntity(uid=uid, family=family, values=values))
+        family += 1
+    return universe
+
+
+def generate_pairs(
+    spec: DomainSpec,
+    num_pairs: int,
+    positive_ratio: float,
+    seed: int,
+    sources: Tuple[str, str] = ("tableA", "tableB"),
+) -> List[EntityPair]:
+    """Synthesise a labeled candidate-pair list for ``spec``.
+
+    Positives pair the two source views of one canonical entity; negatives
+    pair views of different entities, ``hard_negative_fraction`` of them from
+    within the same family.
+    """
+    if num_pairs < 4:
+        raise ValueError("num_pairs too small")
+    rng = np.random.default_rng(seed)
+    num_pos = max(int(round(num_pairs * positive_ratio)), 1)
+    num_neg = num_pairs - num_pos
+
+    # Enough entities that every positive uses a distinct canonical entity.
+    universe = build_universe(spec, max(num_pos + spec.family_size, num_pos * 2), rng)
+    corruptor = ViewCorruptor(spec.noise, rng, numeric_attributes=spec.numeric_attributes)
+
+    by_family: Dict[int, List[int]] = {}
+    for idx, canonical in enumerate(universe):
+        by_family.setdefault(canonical.family, []).append(idx)
+
+    pairs: List[EntityPair] = []
+    pos_indices = rng.permutation(len(universe))[:num_pos]
+    for idx in pos_indices:
+        canonical = universe[int(idx)]
+        pairs.append(EntityPair(
+            left=corruptor.render(canonical, sources[0]),
+            right=corruptor.render(canonical, sources[1]),
+            label=1,
+        ))
+
+    seen_negatives: set = set()
+    attempts = 0
+    while sum(1 for p in pairs if p.label == 0) < num_neg and attempts < num_neg * 50:
+        attempts += 1
+        i = int(rng.integers(0, len(universe)))
+        if rng.random() < spec.hard_negative_fraction:
+            family_members = by_family[universe[i].family]
+            if len(family_members) < 2:
+                continue
+            j = i
+            while j == i:
+                j = int(rng.choice(family_members))
+        else:
+            j = i
+            while j == i:
+                j = int(rng.integers(0, len(universe)))
+        key = (min(i, j), max(i, j))
+        if key in seen_negatives:
+            continue
+        seen_negatives.add(key)
+        pairs.append(EntityPair(
+            left=corruptor.render(universe[i], sources[0]),
+            right=corruptor.render(universe[j], sources[1]),
+            label=0,
+        ))
+    order = rng.permutation(len(pairs))
+    return [pairs[int(k)] for k in order]
+
+
+def generate_source_tables(
+    spec: DomainSpec,
+    num_entities: int,
+    seed: int,
+    sources: Tuple[str, ...] = ("tableA", "tableB"),
+    overlap: float = 0.6,
+) -> Tuple[Dict[str, List[Entity]], Dict[str, List[Tuple[str, str]]]]:
+    """Render raw source tables (for the collective-ER pipeline, Section 6.3).
+
+    Returns ``(tables, matches)`` where ``tables[source]`` is a list of
+    records and ``matches`` maps ``sources[0]`` uid → list of (source, uid)
+    ground-truth matches in the other sources.  ``overlap`` is the fraction of
+    entities present in any later source.
+    """
+    rng = np.random.default_rng(seed)
+    universe = build_universe(spec, num_entities, rng)
+    corruptor = ViewCorruptor(spec.noise, rng, numeric_attributes=spec.numeric_attributes)
+
+    tables: Dict[str, List[Entity]] = {s: [] for s in sources}
+    truth: Dict[str, List[Tuple[str, str]]] = {}
+    for canonical in universe:
+        anchor = corruptor.render(canonical, sources[0])
+        tables[sources[0]].append(anchor)
+        truth[anchor.uid] = []
+        for source in sources[1:]:
+            if rng.random() > overlap:
+                continue
+            view = corruptor.render(canonical, source)
+            tables[source].append(view)
+            truth[anchor.uid].append((source, view.uid))
+    return tables, truth

@@ -1,0 +1,122 @@
+"""CSV import/export so the library works on user-supplied data.
+
+The real Magellan/DeepMatcher benchmarks ship as CSV triples
+(``tableA.csv``, ``tableB.csv``, ``matches.csv``); these helpers read that
+layout into the library's schema and write predictions back out.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.data.schema import Entity, EntityPair, PairDataset, split_pairs
+
+PathLike = Union[str, Path]
+
+
+def entities_from_csv(path: PathLike, id_column: str = "id",
+                      source: str = "") -> List[Entity]:
+    """Read one entity table; every non-id column becomes an attribute."""
+    path = Path(path)
+    entities: List[Entity] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or id_column not in reader.fieldnames:
+            raise ValueError(f"{path} has no {id_column!r} column")
+        for row in reader:
+            uid = row.pop(id_column)
+            entities.append(Entity.from_dict(uid, row, source=source or path.stem))
+    if not entities:
+        raise ValueError(f"{path} contains no rows")
+    return entities
+
+
+def entities_to_csv(entities: Sequence[Entity], path: PathLike,
+                    id_column: str = "id") -> Path:
+    """Write entities back out; attribute order follows the first record."""
+    if not entities:
+        raise ValueError("no entities to write")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    keys = list(entities[0].keys)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([id_column] + keys)
+        for entity in entities:
+            writer.writerow([entity.uid] + [entity.get(k) for k in keys])
+    return path
+
+
+def labeled_pairs_from_csv(
+    pairs_path: PathLike,
+    table_a: Sequence[Entity],
+    table_b: Sequence[Entity],
+    left_column: str = "ltable_id",
+    right_column: str = "rtable_id",
+    label_column: str = "label",
+) -> List[EntityPair]:
+    """Read a labeled pair file referencing the two tables by id."""
+    index_a: Dict[str, Entity] = {e.uid: e for e in table_a}
+    index_b: Dict[str, Entity] = {e.uid: e for e in table_b}
+    pairs: List[EntityPair] = []
+    with Path(pairs_path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        required = {left_column, right_column, label_column}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(f"{pairs_path} must have columns {sorted(required)}")
+        for row in reader:
+            left = index_a.get(row[left_column])
+            right = index_b.get(row[right_column])
+            if left is None or right is None:
+                raise KeyError(
+                    f"pair references unknown id "
+                    f"({row[left_column]!r}, {row[right_column]!r})"
+                )
+            pairs.append(EntityPair(left=left, right=right, label=int(row[label_column])))
+    if not pairs:
+        raise ValueError(f"{pairs_path} contains no pairs")
+    return pairs
+
+
+def dataset_from_csv(
+    table_a_path: PathLike,
+    table_b_path: PathLike,
+    pairs_path: PathLike,
+    name: str = "custom",
+    seed: int = 0,
+    **pair_columns,
+) -> PairDataset:
+    """Assemble a :class:`PairDataset` from the Magellan CSV triple layout."""
+    table_a = entities_from_csv(table_a_path, source="tableA")
+    table_b = entities_from_csv(table_b_path, source="tableB")
+    pairs = labeled_pairs_from_csv(pairs_path, table_a, table_b, **pair_columns)
+    split = split_pairs(pairs, rng=np.random.default_rng(seed))
+    return PairDataset(
+        name=name,
+        domain="custom",
+        pairs=pairs,
+        split=split,
+        num_attributes=len(table_a[0].attributes),
+    )
+
+
+def predictions_to_csv(
+    pairs: Sequence[EntityPair],
+    scores: Iterable[float],
+    path: PathLike,
+    threshold: float = 0.5,
+) -> Path:
+    """Write (left id, right id, score, prediction) rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["ltable_id", "rtable_id", "score", "prediction"])
+        for pair, score in zip(pairs, scores):
+            writer.writerow([pair.left.uid, pair.right.uid,
+                             f"{float(score):.6f}", int(score >= threshold)])
+    return path

@@ -1,0 +1,321 @@
+"""Synthetic equivalents of the Magellan/DeepMatcher benchmarks (Table 1).
+
+Each entry reproduces the published dataset's schema (attribute names and
+count), domain vocabulary, size, and positive ratio; a per-dataset ``noise``
+level recreates its empirical difficulty ordering (Fodors-Zagats ≈ trivial,
+Amazon-Google ≈ hard).  Sizes are capped by the active :class:`repro.config.Scale`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import Scale, get_scale
+from repro.data import wordlists as W
+from repro.data.dirty import make_dirty
+from repro.data.generators import DomainSpec, generate_pairs
+from repro.data.schema import PairDataset, split_pairs
+
+# ----------------------------------------------------------------------
+# Shared pseudo-word pools (deterministic; see data.wordlists)
+# ----------------------------------------------------------------------
+_BRANDS = W.pseudo_words(300, seed=11, syllables=2)
+_PRODUCT_LINES = W.pseudo_words(300, seed=13, syllables=2)
+_ARTISTS = W.pseudo_words(300, seed=17, syllables=3)
+_LABELS = W.pseudo_words(100, seed=19, syllables=2)
+_AUTHORS = W.pseudo_words(500, seed=23, syllables=2)
+_PLACES = W.pseudo_words(200, seed=29, syllables=2)
+_CODES = W.model_codes(600, seed=31)
+
+
+def _family_rng(salt: int, family: int) -> np.random.Generator:
+    """Deterministic per-family generator so family context is stable."""
+    return np.random.default_rng([salt, family])
+
+
+def _pick(rng: np.random.Generator, pool: List[str], k: int) -> List[str]:
+    k = min(k, len(pool))
+    return [pool[int(i)] for i in rng.choice(len(pool), size=k, replace=False)]
+
+
+# ----------------------------------------------------------------------
+# Domain factories: (rng, family, variant) -> {attr: tokens}
+# ----------------------------------------------------------------------
+def beer_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(101, family)
+    brewery = [_BRANDS[int(fam.integers(len(_BRANDS)))], str(fam.choice(W.BEER_WORDS)), "brewing"]
+    style = str(rng.choice(W.BEER_STYLES))
+    name = [str(rng.choice(W.BEER_WORDS)), str(rng.choice(W.BEER_WORDS)), style]
+    abv = f"{rng.uniform(4.0, 11.0):.1f}"
+    return {
+        "beer_name": name,
+        "brew_factory_name": brewery,
+        "style": [style],
+        "abv": [abv],
+    }
+
+
+def music_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(103, family)
+    artist = _pick(fam, _ARTISTS, 2)
+    album = _pick(fam, W.MUSIC_WORDS, 2)
+    genre = str(fam.choice(W.GENRES))
+    label = str(fam.choice(_LABELS))
+    year = str(fam.integers(1990, 2021))
+    song = _pick(rng, W.MUSIC_WORDS, 3)
+    minutes = int(rng.integers(2, 6))
+    seconds = int(rng.integers(0, 60))
+    price = f"{rng.uniform(0.69, 1.99):.2f}"
+    return {
+        "song_name": song,
+        "artist_name": artist,
+        "album_name": album,
+        "genre": [genre],
+        "price": [price],
+        "copyright": [label, "records", year],
+        "time": [str(minutes), f"{seconds:02d}"],
+        "released": [year],
+    }
+
+
+def restaurant_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(107, family)
+    city = str(fam.choice(W.CITY_WORDS))
+    rtype = str(rng.choice(W.RESTAURANT_TYPES))
+    name = [str(rng.choice(_PLACES)), str(rng.choice(W.STREET_WORDS)), rtype]
+    number = str(rng.integers(1, 999))
+    street = [number, str(rng.choice(W.STREET_WORDS)), "st"]
+    phone = [str(rng.integers(200, 999)), str(rng.integers(200, 999)), str(rng.integers(1000, 9999))]
+    return {
+        "name": name,
+        "addr": street,
+        "city": [city],
+        "phone": phone,
+        "type": [rtype],
+        "class": [str(rng.integers(0, 100))],
+    }
+
+
+def _citation_factory(venues: List[str], salt: int):
+    def factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+        fam = _family_rng(salt, family)
+        base_topic = _pick(fam, W.CITATION_TOPIC_WORDS, 3)
+        shared_authors = _pick(fam, _AUTHORS, 3)
+        extra_topic = _pick(rng, W.CITATION_TOPIC_WORDS, 3)
+        title = base_topic + extra_topic
+        authors = shared_authors[: int(rng.integers(1, 3))] + _pick(rng, _AUTHORS, 1)
+        return {
+            "title": title,
+            "authors": authors,
+            "venue": [str(rng.choice(venues))],
+            "year": [str(rng.integers(1995, 2021))],
+        }
+
+    return factory
+
+
+def software_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(113, family)
+    brand = str(fam.choice(_BRANDS))
+    line = _pick(fam, W.SOFTWARE_WORDS, 2)
+    # Variants in a family differ ONLY in edition words + version, drawn from
+    # a small per-family pool so siblings overlap heavily: the Figure 1
+    # "big data cluster" situation.  Prices are family-anchored so that a
+    # price-similarity feature cannot separate hard negatives.
+    edition_pool = _pick(fam, W.SOFTWARE_WORDS, 4)
+    edition = [edition_pool[int(i)] for i in rng.choice(4, size=2, replace=False)]
+    version = str(rng.integers(1, 12))
+    base_price = float(fam.uniform(19.0, 499.0))
+    price = base_price * float(rng.uniform(0.9, 1.1))
+    title = [brand] + line + edition + ["v" + version]
+    return {
+        "title": title,
+        "manufacturer": [brand, "inc"],
+        "price": [f"{price:.2f}"],
+    }
+
+
+def electronics_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(127, family)
+    brand = str(fam.choice(_BRANDS))
+    category = _pick(fam, W.ELECTRONICS_WORDS, 2)
+    # Model codes inside a family share a prefix (xk430 vs xk437), so hard
+    # negatives survive q-gram similarity features.
+    family_code = str(fam.choice(_CODES))
+    code = family_code[:-1] + str(rng.integers(0, 10))
+    size = str(fam.integers(10, 32))
+    base_price = float(fam.uniform(29.0, 1499.0))
+    price = base_price * float(rng.uniform(0.9, 1.1))
+    title = [brand] + category + [code, size, "inch"]
+    return {
+        "title": title,
+        "category": category,
+        "brand": [brand],
+        "modelno": [code],
+        "price": [f"{price:.2f}"],
+    }
+
+
+def abtbuy_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(131, family)
+    brand = str(fam.choice(_BRANDS))
+    category = _pick(fam, W.ELECTRONICS_WORDS, 2)
+    family_code = str(fam.choice(_CODES))
+    code = family_code[:-1] + str(rng.integers(0, 10))
+    shared_fillers = _pick(fam, W.FILLER_WORDS, 6)  # family boilerplate
+    base_price = float(fam.uniform(49.0, 999.0))
+    name = [brand] + category + [code]
+    description = (
+        [brand]
+        + category
+        + _pick(rng, W.ELECTRONICS_WORDS, 3)
+        + shared_fillers
+        + _pick(rng, W.FILLER_WORDS, 3)
+        + [code]
+    )
+    return {
+        "name": name,
+        "description": description,
+        "price": [f"{base_price * float(rng.uniform(0.9, 1.1)):.2f}"],
+    }
+
+
+def company_factory(rng: np.random.Generator, family: int, variant: int) -> Dict[str, List[str]]:
+    fam = _family_rng(137, family)
+    company = _pick(fam, _BRANDS, 2)
+    industry = _pick(fam, W.SOFTWARE_WORDS + W.ELECTRONICS_WORDS, 3)
+    body = []
+    for _ in range(3):
+        body += company + _pick(rng, W.FILLER_WORDS, 6) + industry + _pick(rng, W.SOFTWARE_WORDS, 3)
+    return {"content": body}
+
+
+# ----------------------------------------------------------------------
+# Registry (sizes / positives / attribute counts from Table 1)
+# ----------------------------------------------------------------------
+class DatasetInfo:
+    """Static description of one benchmark (mirrors Table 1)."""
+
+    def __init__(self, name: str, domain: str, size: int, positives: int,
+                 spec: DomainSpec, has_dirty: bool = False):
+        self.name = name
+        self.domain = domain
+        self.size = size
+        self.positives = positives
+        self.spec = spec
+        self.has_dirty = has_dirty
+
+    @property
+    def positive_ratio(self) -> float:
+        return self.positives / self.size
+
+
+def _spec(name: str, domain: str, attributes, factory, noise: float, **kwargs) -> DomainSpec:
+    return DomainSpec(name=name, domain=domain, attributes=tuple(attributes),
+                      factory=factory, noise=noise, **kwargs)
+
+
+MAGELLAN_DATASETS: Dict[str, DatasetInfo] = {
+    "Beer": DatasetInfo(
+        "Beer", "beer", 450, 68,
+        _spec("Beer", "beer", ["beer_name", "brew_factory_name", "style", "abv"],
+              beer_factory, noise=0.30, numeric_attributes=("abv",))),
+    "iTunes-Amazon": DatasetInfo(
+        "iTunes-Amazon", "music", 539, 132,
+        _spec("iTunes-Amazon", "music",
+              ["song_name", "artist_name", "album_name", "genre", "price",
+               "copyright", "time", "released"],
+              music_factory, noise=0.22, numeric_attributes=("price",)),
+        has_dirty=True),
+    "Fodors-Zagats": DatasetInfo(
+        "Fodors-Zagats", "restaurant", 946, 110,
+        _spec("Fodors-Zagats", "restaurant",
+              ["name", "addr", "city", "phone", "type", "class"],
+              restaurant_factory, noise=0.06)),
+    "DBLP-ACM": DatasetInfo(
+        "DBLP-ACM", "citation", 12363, 2220,
+        _spec("DBLP-ACM", "citation", ["title", "authors", "venue", "year"],
+              _citation_factory(W.VENUES_A, salt=109), noise=0.10),
+        has_dirty=True),
+    "DBLP-Scholar": DatasetInfo(
+        "DBLP-Scholar", "citation", 28707, 5347,
+        _spec("DBLP-Scholar", "citation", ["title", "authors", "venue", "year"],
+              _citation_factory(W.VENUES_A + W.VENUES_B, salt=111), noise=0.25),
+        has_dirty=True),
+    "Amazon-Google": DatasetInfo(
+        "Amazon-Google", "software", 11460, 1167,
+        _spec("Amazon-Google", "software", ["title", "manufacturer", "price"],
+              software_factory, noise=0.45, numeric_attributes=("price",),
+              hard_negative_fraction=0.85)),
+    "Walmart-Amazon": DatasetInfo(
+        "Walmart-Amazon", "electronics", 10242, 962,
+        _spec("Walmart-Amazon", "electronics",
+              ["title", "category", "brand", "modelno", "price"],
+              electronics_factory, noise=0.35, numeric_attributes=("price",),
+              hard_negative_fraction=0.8),
+        has_dirty=True),
+    "Abt-Buy": DatasetInfo(
+        "Abt-Buy", "product", 9575, 1028,
+        _spec("Abt-Buy", "product", ["name", "description", "price"],
+              abtbuy_factory, noise=0.40, numeric_attributes=("price",),
+              hard_negative_fraction=0.8)),
+    "Company": DatasetInfo(
+        "Company", "company", 112632, 28200,
+        _spec("Company", "company", ["content"], company_factory, noise=0.35)),
+}
+
+DIRTY_DATASETS: List[str] = [name for name, info in MAGELLAN_DATASETS.items() if info.has_dirty]
+
+# Short aliases used by the paper's tables.
+ALIASES: Dict[str, str] = {
+    "I-A": "iTunes-Amazon",
+    "F-Z": "Fodors-Zagats",
+    "D-A": "DBLP-ACM",
+    "D-S": "DBLP-Scholar",
+    "A-G": "Amazon-Google",
+    "W-A": "Walmart-Amazon",
+    "A-B": "Abt-Buy",
+    "C": "Company",
+}
+
+
+def load_dataset(name: str, scale: Optional[Scale] = None, dirty: bool = False,
+                 seed: Optional[int] = None) -> PairDataset:
+    """Generate a Magellan-style benchmark, split 3:1:1.
+
+    Args:
+        name: dataset name or paper alias (``"A-G"``).
+        scale: experiment scale (defaults to the active global scale); its
+            ``max_pairs`` / ``dataset_fraction`` cap the generated size.
+        dirty: apply the DeepMatcher dirty-data corruption (attribute values
+            injected into other attributes).
+        seed: RNG seed (defaults to the scale's seed).
+    """
+    name = ALIASES.get(name, name)
+    if name not in MAGELLAN_DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(MAGELLAN_DATASETS)}")
+    info = MAGELLAN_DATASETS[name]
+    if dirty and not info.has_dirty:
+        raise ValueError(f"{name} has no dirty variant in the paper")
+    scale = scale or get_scale()
+    seed = scale.seed if seed is None else seed
+
+    size = int(info.size * scale.dataset_fraction)
+    if scale.max_pairs is not None:
+        size = min(size, scale.max_pairs)
+    size = max(size, 40)
+
+    pairs = generate_pairs(info.spec, size, info.positive_ratio, seed=seed)
+    if dirty:
+        pairs = make_dirty(pairs, seed=seed + 1)
+    split = split_pairs(pairs, rng=np.random.default_rng(seed + 2))
+    return PairDataset(
+        name=name + (" (dirty)" if dirty else ""),
+        domain=info.domain,
+        pairs=pairs,
+        split=split,
+        num_attributes=len(info.spec.attributes),
+        dirty=dirty,
+    )

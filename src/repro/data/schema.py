@@ -1,0 +1,174 @@
+"""Core data model: entities, labeled pairs, datasets, and splits.
+
+An :class:`Entity` is an ordered mapping of attribute name → string value
+(missing values are the literal string ``"nan"``, following the paper's
+``NAN`` fill).  Matching examples are :class:`EntityPair` objects; a
+:class:`PairDataset` groups pairs with the 3:1:1 train/valid/test
+:class:`Split` used throughout Section 6.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.text.vocab import NAN_TOKEN
+
+
+@dataclasses.dataclass(frozen=True)
+class Entity:
+    """A single record: ordered attribute key/value pairs plus provenance."""
+
+    uid: str
+    attributes: Tuple[Tuple[str, str], ...]
+    source: str = ""
+
+    @classmethod
+    def from_dict(cls, uid: str, values: Dict[str, str], source: str = "") -> "Entity":
+        items = tuple(
+            (key, value if value not in (None, "") else NAN_TOKEN)
+            for key, value in values.items()
+        )
+        return cls(uid=uid, attributes=items, source=source)
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(key for key, _ in self.attributes)
+
+    def value(self, key: str) -> str:
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def get(self, key: str, default: str = NAN_TOKEN) -> str:
+        for k, v in self.attributes:
+            if k == key:
+                return v
+        return default
+
+    def text(self) -> str:
+        """All attribute values joined — used by blocking and TF-IDF."""
+        return " ".join(v for _, v in self.attributes if v != NAN_TOKEN)
+
+    def replace_attributes(self, attributes: Sequence[Tuple[str, str]]) -> "Entity":
+        return Entity(uid=self.uid, attributes=tuple(attributes), source=self.source)
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self.attributes)
+
+
+@dataclasses.dataclass(frozen=True)
+class EntityPair:
+    """A labeled candidate pair (left from table A, right from table B)."""
+
+    left: Entity
+    right: Entity
+    label: int  # 1 = match, 0 = non-match
+
+    def swapped(self) -> "EntityPair":
+        return EntityPair(left=self.right, right=self.left, label=self.label)
+
+
+@dataclasses.dataclass
+class Split:
+    """Train / validation / test partition of a list of pairs."""
+
+    train: List[EntityPair]
+    valid: List[EntityPair]
+    test: List[EntityPair]
+
+    def __post_init__(self):
+        if not self.train or not self.test:
+            raise ValueError("split must have non-empty train and test sets")
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train), len(self.valid), len(self.test))
+
+    def all_pairs(self) -> List[EntityPair]:
+        return self.train + self.valid + self.test
+
+
+@dataclasses.dataclass
+class PairDataset:
+    """A named pairwise ER benchmark with its split and metadata."""
+
+    name: str
+    domain: str
+    pairs: List[EntityPair]
+    split: Split
+    num_attributes: int
+    dirty: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def num_positives(self) -> int:
+        return sum(p.label for p in self.pairs)
+
+    @property
+    def positive_ratio(self) -> float:
+        return self.num_positives / max(self.size, 1)
+
+    def corpus_tokens(self) -> List[List[str]]:
+        """All attribute-value token lists — vocabulary construction input."""
+        from repro.text.tokenizer import tokenize
+
+        out: List[List[str]] = []
+        for pair in self.pairs:
+            for entity in (pair.left, pair.right):
+                for _, value in entity.attributes:
+                    out.append(tokenize(value))
+        return out
+
+    def summary(self) -> str:
+        train, valid, test = self.split.sizes
+        return (
+            f"{self.name}: {self.size} pairs ({self.num_positives} pos, "
+            f"{self.num_attributes} attrs, split {train}/{valid}/{test}"
+            f"{', dirty' if self.dirty else ''})"
+        )
+
+
+def split_pairs(
+    pairs: Sequence[EntityPair],
+    ratios: Tuple[int, int, int] = (3, 1, 1),
+    rng: Optional[np.random.Generator] = None,
+    stratify: bool = True,
+) -> Split:
+    """Shuffle and split pairs by ``ratios`` (paper: 3:1:1, following DeepMatcher).
+
+    With ``stratify`` the positive ratio is preserved across the three parts,
+    which matters for tiny datasets like Beer.
+    """
+    rng = rng or np.random.default_rng(0)
+    total = sum(ratios)
+
+    def cut(items: List[EntityPair]) -> Tuple[List[EntityPair], List[EntityPair], List[EntityPair]]:
+        items = list(items)
+        rng.shuffle(items)
+        n = len(items)
+        n_train = round(n * ratios[0] / total)
+        n_valid = round(n * ratios[1] / total)
+        return (
+            items[:n_train],
+            items[n_train:n_train + n_valid],
+            items[n_train + n_valid:],
+        )
+
+    if stratify:
+        pos = [p for p in pairs if p.label == 1]
+        neg = [p for p in pairs if p.label == 0]
+        tr_p, va_p, te_p = cut(pos)
+        tr_n, va_n, te_n = cut(neg)
+        train, valid, test = tr_p + tr_n, va_p + va_n, te_p + te_n
+        for part in (train, valid, test):
+            rng.shuffle(part)
+    else:
+        train, valid, test = cut(list(pairs))
+    return Split(train=train, valid=valid, test=test)

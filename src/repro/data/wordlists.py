@@ -1,0 +1,148 @@
+"""Deterministic word pools for the synthetic benchmark generators.
+
+Two kinds of vocabulary are produced:
+
+* **Real filler words** — common English words used for descriptions and
+  connective text.  Keeping these human-readable makes the Figure 9 attention
+  visualisations interpretable.
+* **Pseudo-words** — deterministic syllable compositions used for brands,
+  product lines, artist names, etc.  These play the role of the paper's
+  "brand-specific unknown words" (``coolmax``, ``tp-link``): discriminative
+  tokens that no pre-trained vocabulary would contain.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+# Common filler words: deliberately uninformative for matching, mirroring the
+# conjunctions/prepositions the entity-alignment layer is designed to discount.
+FILLER_WORDS: List[str] = (
+    "the a an and or with for from of in on to by new original high quality "
+    "premium ultra pro series edition classic standard deluxe special limited "
+    "full set pack kit best top great value plus super extra improved advanced "
+    "genuine official complete portable compact digital smart home office"
+).split()
+
+# Domain flavour words (informative but shared within a category).
+SOFTWARE_WORDS: List[str] = (
+    "software suite studio server cloud data big cluster framework analytics "
+    "security backup antivirus office photo video editor player manager "
+    "database system network windows mac license download upgrade enterprise "
+    "professional academic student desktop mobile spark engine platform"
+).split()
+
+ELECTRONICS_WORDS: List[str] = (
+    "laptop notebook tablet camera lens monitor screen keyboard mouse printer "
+    "router adapter cable charger battery speaker headphone wireless bluetooth "
+    "memory storage drive processor core inch hd led lcd usb hdmi gaming "
+    "projector scanner webcam microphone dock hub"
+).split()
+
+MUSIC_WORDS: List[str] = (
+    "love night heart dream fire light rain summer blue gold river road home "
+    "dance party soul rock jazz acoustic live remix deluxe remastered single "
+    "album track feat version radio edit explicit"
+).split()
+
+GENRES: List[str] = (
+    "pop rock jazz blues country electronic hiphop classical folk metal "
+    "indie soul reggae latin dance"
+).split()
+
+BEER_STYLES: List[str] = (
+    "ipa lager stout porter pilsner ale saison wheat amber dubbel tripel "
+    "bock kolsch gose barleywine"
+).split()
+
+BEER_WORDS: List[str] = (
+    "hoppy golden dark amber barrel aged imperial double session dry craft "
+    "brewing brewery co house river mountain valley old town north south"
+).split()
+
+RESTAURANT_TYPES: List[str] = (
+    "italian french chinese japanese mexican thai indian american seafood "
+    "steakhouse cafe bistro diner bbq pizzeria sushi"
+).split()
+
+STREET_WORDS: List[str] = "main oak park first second third elm maple washington lake hill river".split()
+CITY_WORDS: List[str] = (
+    "newyork losangeles chicago houston phoenix philadelphia sanantonio "
+    "sandiego dallas sanjose austin boston seattle denver atlanta miami"
+).split()
+
+CITATION_TOPIC_WORDS: List[str] = (
+    "query database distributed parallel indexing transaction learning mining "
+    "graph stream optimization scalable efficient approximate adaptive neural "
+    "semantic knowledge entity resolution integration cleaning schema matching "
+    "join aggregation storage memory cache workload benchmark privacy secure"
+).split()
+
+VENUES_A: List[str] = "sigmod vldb icde kdd".split()
+VENUES_B: List[str] = "sigmodrecord vldbj tkde tods kais".split()
+
+SHOE_WORDS: List[str] = (
+    "running trail walking basketball tennis hiking leather mesh waterproof "
+    "cushioned lightweight mens womens kids size black white red blue grey"
+).split()
+
+WATCH_WORDS: List[str] = (
+    "chronograph automatic quartz dive sport dress steel leather strap sapphire "
+    "waterresistant luminous date mens womens gold silver black analog digital"
+).split()
+
+CAMERA_WORDS: List[str] = (
+    "dslr mirrorless zoom lens megapixel sensor fullframe aps tripod flash "
+    "kit body telephoto wideangle macro stabilized video 4k battery grip"
+).split()
+
+COMPUTER_WORDS: List[str] = (
+    "laptop desktop workstation gaming ssd ram ddr4 intel amd ryzen core i5 i7 "
+    "graphics nvidia geforce radeon motherboard cooler tower mini ultrabook"
+).split()
+
+MONITOR_WORDS: List[str] = (
+    "monitor display panel ips va tn curved ultrawide 24inch 27inch 32inch "
+    "144hz 60hz freesync gsync hdr resolution 1080p 1440p 4k bezel stand"
+).split()
+
+_CONSONANTS = list("bcdfgklmnprstvz")
+_VOWELS = list("aeiou")
+
+
+def pseudo_words(count: int, seed: int, syllables: int = 2, suffix: str = "") -> List[str]:
+    """Generate ``count`` distinct pronounceable pseudo-words, deterministically.
+
+    >>> pseudo_words(2, seed=7)  # doctest: +SKIP
+    ['bake', 'rizo']
+    """
+    rng = np.random.default_rng(seed)
+    seen: set = set()
+    out: List[str] = []
+    while len(out) < count:
+        word = "".join(
+            rng.choice(_CONSONANTS) + rng.choice(_VOWELS) for _ in range(syllables)
+        ) + suffix
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+    return out
+
+
+def model_codes(count: int, seed: int) -> List[str]:
+    """Alphanumeric model numbers like ``xk430`` — discriminative code tokens."""
+    rng = np.random.default_rng(seed)
+    letters = list("abcdefghjkmnpqrstuvwxz")
+    seen: set = set()
+    out: List[str] = []
+    while len(out) < count:
+        code = (
+            "".join(rng.choice(letters, size=2))
+            + str(rng.integers(100, 999))
+        )
+        if code not in seen:
+            seen.add(code)
+            out.append(code)
+    return out

@@ -1,0 +1,45 @@
+"""Experiment harness: one runner per table/figure of the paper (Section 6).
+
+Each ``run_*`` function regenerates the rows/series of one table or figure at
+the active :class:`repro.config.Scale` and returns a
+:class:`~repro.harness.tables.TableResult` whose ``render()`` prints the same
+layout the paper reports.  ``EXPERIMENTS`` maps experiment ids to runners.
+"""
+
+from repro.harness.tables import TableResult
+from repro.harness.datasets_tables import run_table1_dataset_stats, run_table2_wdc_sizes
+from repro.harness.pairwise import (
+    run_figure9_attention,
+    run_figure10_wdc,
+    run_figure11_training_time,
+    run_table3_language_models,
+    run_table4_magellan,
+)
+from repro.harness.collective import (
+    run_table5_table6_statistics,
+    run_table7_collective,
+    run_table8_collective_lms,
+    run_table9_context_ablation,
+    run_table10_multiview,
+    run_table11_components,
+)
+
+EXPERIMENTS = {
+    "table1": run_table1_dataset_stats,
+    "table2": run_table2_wdc_sizes,
+    "table3": run_table3_language_models,
+    "table4": run_table4_magellan,
+    "table5_6": run_table5_table6_statistics,
+    "table7": run_table7_collective,
+    "table8": run_table8_collective_lms,
+    "table9": run_table9_context_ablation,
+    "table10": run_table10_multiview,
+    "table11": run_table11_components,
+    "figure9": run_figure9_attention,
+    "figure10": run_figure10_wdc,
+    "figure11": run_figure11_training_time,
+}
+
+__all__ = ["TableResult", "EXPERIMENTS"] + sorted(
+    name for name in dir() if name.startswith("run_")
+)

@@ -1,0 +1,122 @@
+"""Markdown report generation: render experiment results next to the paper's
+numbers (the machinery behind EXPERIMENTS.md).
+
+``PAPER_REFERENCE`` records the key published values so a report can show
+paper-vs-measured side by side and check the qualitative *shape* claims
+(orderings, gaps) that the reproduction targets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+from typing import Dict, Optional, Sequence
+
+from repro.config import Scale, get_scale
+from repro.harness.tables import TableResult
+
+#: Selected published values (full tables are in the paper; these anchor the
+#: shape checks).  Format: experiment -> description -> value.
+PAPER_REFERENCE: Dict[str, Dict[str, float]] = {
+    "table4": {
+        "Fodors-Zagats HG": 100.0, "Fodors-Zagats Magellan": 100.0,
+        "Amazon-Google Magellan": 49.1, "Amazon-Google DM": 69.3,
+        "Amazon-Google Ditto": 74.1, "Amazon-Google HG": 76.4,
+        "Beer HG": 93.3, "DBLP-ACM HG": 99.1,
+        "Walmart-Amazon HG": 88.2, "Abt-Buy HG": 89.8,
+    },
+    "table7": {
+        "Amazon-Google Ditto": 77.6, "Amazon-Google HG": 78.0,
+        "Amazon-Google HG+": 83.1, "Walmart-Amazon HG+": 92.3,
+        "camera HG+": 99.4, "monitor HG+": 99.6,
+    },
+    "table9": {
+        "Context A-G": 83.1, "Non-Entity A-G": 82.1,
+        "Non-Attribute A-G": 81.9, "Non-Context A-G": 81.4,
+    },
+    "table10": {
+        "View Average A-G": 75.1, "Shared Space Learn A-G": 74.4,
+        "Weight Average A-G": 83.1,
+    },
+    "table11": {
+        "HG+ A-G": 83.1, "Non-Sum A-G": 82.6, "Non-Align A-G": 77.1,
+    },
+}
+
+
+@dataclasses.dataclass
+class ShapeCheck:
+    """One qualitative claim from the paper and whether we reproduce it."""
+
+    claim: str
+    holds: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "✓" if self.holds else "✗"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"- [{mark}] {self.claim}{suffix}"
+
+
+def check_ordering(result: TableResult, row: str, better: str, worse: str,
+                   claim: Optional[str] = None) -> ShapeCheck:
+    """Check ``result[row][better] >= result[row][worse]``."""
+    try:
+        b = float(result.cell(row, better))
+        w = float(result.cell(row, worse))
+    except (KeyError, ValueError) as exc:
+        return ShapeCheck(claim or f"{better} ≥ {worse} on {row}", False, str(exc))
+    return ShapeCheck(
+        claim or f"{better} ≥ {worse} on {row}",
+        holds=b >= w,
+        detail=f"{b:.1f} vs {w:.1f}",
+    )
+
+
+def check_column_ordering(result: TableResult, better_row: str, worse_row: str,
+                          column: str, claim: Optional[str] = None) -> ShapeCheck:
+    """Check row-vs-row ordering within one column (ablation tables)."""
+    try:
+        b = float(result.cell(better_row, column))
+        w = float(result.cell(worse_row, column))
+    except (KeyError, ValueError) as exc:
+        return ShapeCheck(claim or f"{better_row} ≥ {worse_row}", False, str(exc))
+    return ShapeCheck(
+        claim or f"{better_row} ≥ {worse_row} ({column})",
+        holds=b >= w,
+        detail=f"{b:.1f} vs {w:.1f}",
+    )
+
+
+def render_markdown_report(results: Dict[str, TableResult],
+                           checks: Sequence[ShapeCheck] = (),
+                           scale: Optional[Scale] = None) -> str:
+    """Full markdown report: environment, tables, shape-check scoreboard."""
+    scale = scale or get_scale()
+    lines = [
+        f"Generated {datetime.date.today().isoformat()} at scale: "
+        f"dim={scale.hidden_dim}, layers={scale.num_layers}, "
+        f"max_pairs={scale.max_pairs}, epochs={scale.epochs}.",
+        "",
+    ]
+    if checks:
+        passed = sum(1 for c in checks if c.holds)
+        lines.append(f"## Shape checks ({passed}/{len(checks)} hold)")
+        lines.extend(check.render() for check in checks)
+        lines.append("")
+    for exp_id, result in results.items():
+        lines.append(f"## {result.experiment}: {result.title}")
+        lines.append("")
+        lines.append("| " + " | ".join(result.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+        for row in result.rows:
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        reference = PAPER_REFERENCE.get(exp_id)
+        if reference:
+            lines.append("")
+            lines.append("Paper anchors: " + ", ".join(
+                f"{k}={v}" for k, v in reference.items()))
+        for note in result.notes:
+            lines.append(f"\n*{note}*")
+        lines.append("")
+    return "\n".join(lines)

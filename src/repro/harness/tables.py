@@ -1,0 +1,60 @@
+"""Result-table formatting shared by all experiment runners."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class TableResult:
+    """One reproduced table/figure: headers, rows, and provenance notes."""
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def cell(self, row_label: str, column: str) -> str:
+        """Look up a value by row label (first column) and column header."""
+        try:
+            col = self.headers.index(column)
+        except ValueError as exc:
+            raise KeyError(f"no column {column!r} in {self.headers}") from exc
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[col]
+        raise KeyError(f"no row {row_label!r}")
+
+    def column(self, column: str) -> List[str]:
+        col = self.headers.index(column)
+        return [row[col] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width text rendering, paper-style."""
+        table = [self.headers] + self.rows
+        widths = [max(len(str(r[i])) for r in table) for i in range(len(self.headers))]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def fmt(value: Optional[float], digits: int = 1) -> str:
+    """Format an F1/number the way the paper prints them (e.g. ``93.3``)."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def numeric(cells: Sequence[str]) -> List[float]:
+    """Parse rendered cells back to floats, skipping '-' placeholders."""
+    return [float(c) for c in cells if c not in ("-", "")]

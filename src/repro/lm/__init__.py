@@ -1,0 +1,32 @@
+"""Simulated pre-trained language models.
+
+The paper fine-tunes HuggingFace checkpoints (DistilBERT, RoBERTa,
+RoBERTa-Large).  Offline we simulate "pre-training" in two steps:
+
+1. :class:`CorpusEmbeddings` — count-based PPMI+SVD word vectors over the
+   benchmark corpus provide semantically meaningful initial embeddings
+   (the role of the pre-trained embedding matrix).
+2. :func:`mlm_warmup` — an optional short masked-language-model warm-up of
+   the transformer encoder on the same corpus.
+
+:func:`load_language_model` mirrors the HF ``from_pretrained`` entry point
+with a registry of three sizes matching the paper's LM sweep (Table 3/8).
+"""
+
+from repro.lm.embeddings import CorpusEmbeddings
+from repro.lm.registry import (
+    LANGUAGE_MODELS,
+    LanguageModelSpec,
+    PretrainedLM,
+    load_language_model,
+)
+from repro.lm.pretrain import mlm_warmup
+
+__all__ = [
+    "CorpusEmbeddings",
+    "LANGUAGE_MODELS",
+    "LanguageModelSpec",
+    "PretrainedLM",
+    "load_language_model",
+    "mlm_warmup",
+]

@@ -1,0 +1,122 @@
+"""Count-based distributional word embeddings (PPMI + truncated SVD).
+
+Factorising the positive pointwise-mutual-information co-occurrence matrix is
+a classic, GloVe-quality embedding method (Levy & Goldberg 2014) that needs
+no gradient training — ideal for simulating "pre-trained" embeddings offline.
+Words that co-occur (brand with its product line, style with its domain)
+land near each other, giving the downstream matchers the same kind of
+semantic prior real pre-trained embeddings provide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.text.vocab import Vocabulary
+
+
+def _randomized_svd(matrix, k: int, seed: int, oversample: int = 8,
+                    power_iterations: int = 2):
+    """Seeded randomized SVD (Halko et al. 2011) — deterministic, unlike
+    ARPACK's ``svds``, which varies run-to-run in degenerate subspaces."""
+    n = matrix.shape[0]
+    rng = np.random.default_rng(seed)
+    width = min(k + oversample, n)
+    sketch = matrix @ rng.standard_normal((n, width))
+    for _ in range(power_iterations):
+        sketch = matrix @ (matrix.T @ sketch)
+    q, _ = np.linalg.qr(sketch)
+    small = q.T @ matrix.toarray() if sparse.issparse(matrix) and n <= 20000 else q.T @ matrix
+    small = np.asarray(small)
+    u_small, s, _ = np.linalg.svd(small, full_matrices=False)
+    u = q @ u_small[:, :k]
+    return u[:, :k], s[:k]
+
+
+class CorpusEmbeddings:
+    """PPMI+SVD embeddings over a tokenised corpus, aligned to a vocabulary."""
+
+    def __init__(self, vocab: Vocabulary, dim: int, window: int = 4, seed: int = 0):
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.seed = seed
+        self._matrix: np.ndarray | None = None
+
+    def fit(self, corpus: Sequence[List[str]]) -> "CorpusEmbeddings":
+        """Build embeddings from token lists (sentences/attribute values)."""
+        n = len(self.vocab)
+        rows: List[int] = []
+        cols: List[int] = []
+        for tokens in corpus:
+            ids = self.vocab.encode(tokens)
+            for i, center in enumerate(ids):
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        rows.append(center)
+                        cols.append(ids[j])
+        if not rows:
+            raise ValueError("empty corpus")
+        data = np.ones(len(rows))
+        counts = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+        counts = counts + counts.T  # symmetrise
+
+        total = counts.sum()
+        row_sums = np.asarray(counts.sum(axis=1)).ravel()
+        coo = counts.tocoo()
+        # PPMI: max(0, log(p(w,c) / (p(w) p(c))))
+        with np.errstate(divide="ignore"):
+            pmi = np.log((coo.data * total) /
+                         (row_sums[coo.row] * row_sums[coo.col] + 1e-12) + 1e-12)
+        pmi = np.maximum(pmi, 0.0)
+        ppmi = sparse.csr_matrix((pmi, (coo.row, coo.col)), shape=(n, n))
+
+        k = min(self.dim, max(n - 2, 1))
+        u, s = _randomized_svd(ppmi, k, seed=self.seed)
+        # Canonical sign: largest-magnitude entry of each component positive,
+        # so embeddings are deterministic across runs and platforms.
+        signs = np.sign(u[np.abs(u).argmax(axis=0), np.arange(k)])
+        signs[signs == 0] = 1.0
+        u = u * signs[None, :]
+        vectors = u * np.sqrt(np.maximum(s, 0.0))[None, :]
+        if k < self.dim:  # pad if vocabulary is tiny
+            vectors = np.hstack([vectors, np.zeros((n, self.dim - k))])
+        # Scale to the magnitude transformer embeddings expect.
+        norm = np.abs(vectors).max() or 1.0
+        self._matrix = (vectors / norm * 0.5).astype(np.float32)
+        return self
+
+    @property
+    def matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            raise RuntimeError("fit() must be called first")
+        return self._matrix
+
+    def vector(self, token: str) -> np.ndarray:
+        return self.matrix[self.vocab.token_to_id(token)]
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two tokens' embeddings."""
+        va, vb = self.vector(a), self.vector(b)
+        denom = np.linalg.norm(va) * np.linalg.norm(vb)
+        return float(va @ vb / denom) if denom else 0.0
+
+    def nearest(self, token: str, k: int = 5) -> List[str]:
+        """k most similar in-vocabulary tokens (excluding the query)."""
+        v = self.vector(token)
+        norms = np.linalg.norm(self.matrix, axis=1) * (np.linalg.norm(v) or 1.0)
+        scores = self.matrix @ v / np.maximum(norms, 1e-9)
+        order = np.argsort(-scores)
+        out: List[str] = []
+        for idx in order:
+            candidate = self.vocab.id_to_token(int(idx))
+            if candidate != token and not candidate.startswith("["):
+                out.append(candidate)
+            if len(out) >= k:
+                break
+        return out

@@ -1,0 +1,65 @@
+"""Masked-language-model warm-up for the simulated checkpoints.
+
+A short MLM phase teaches the encoder to use context — the property the
+paper's contextual-embedding component depends on.  It is optional (the
+PPMI+SVD initialisation already carries distributional semantics) and is
+used by the extension experiments and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.optim import Adam
+from repro.lm.registry import PretrainedLM
+from repro.nn import Linear
+
+
+def mlm_warmup(lm: PretrainedLM, corpus: Sequence[List[str]], steps: int = 50,
+               batch_size: int = 16, mask_prob: float = 0.15,
+               lr: float = 1e-3, seed: int = 0) -> List[float]:
+    """Run ``steps`` of masked-token prediction; returns the loss curve.
+
+    15% of tokens are replaced by [UNK] (standing in for [MASK]) and the
+    encoder must recover their identities through a tied-embedding softmax.
+    """
+    rng = np.random.default_rng(seed)
+    vocab = lm.vocab
+    encoded = [vocab.encode(tokens) for tokens in corpus if len(tokens) >= 2]
+    if not encoded:
+        raise ValueError("corpus has no usable sequences")
+    max_len = max(min(max(len(e) for e in encoded), 32), 4)
+
+    head = Linear(lm.dim, len(vocab), rng=rng)
+    optimizer = Adam(lm.parameters() + head.parameters(), lr=lr)
+    losses: List[float] = []
+    lm.train()
+    for _ in range(steps):
+        batch_idx = rng.integers(0, len(encoded), size=batch_size)
+        ids = np.full((batch_size, max_len), vocab.pad_id, dtype=np.int64)
+        mask = np.zeros((batch_size, max_len), dtype=bool)
+        targets = np.full((batch_size, max_len), -1, dtype=np.int64)
+        for row, idx in enumerate(batch_idx):
+            seq = encoded[int(idx)][:max_len]
+            ids[row, :len(seq)] = seq
+            mask[row, :len(seq)] = True
+            for pos in range(len(seq)):
+                if rng.random() < mask_prob:
+                    targets[row, pos] = ids[row, pos]
+                    ids[row, pos] = vocab.unk_id
+        if (targets >= 0).sum() == 0:
+            continue
+        hidden = lm.encode(ids, pad_mask=mask)
+        logits = head(hidden)
+        rows, cols = np.nonzero(targets >= 0)
+        picked_logits = logits[rows, cols]
+        loss = F.cross_entropy(picked_logits, targets[rows, cols])
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    lm.eval()
+    return losses

@@ -1,0 +1,113 @@
+"""Registry of simulated pre-trained language models (paper Table 3/8 sweep).
+
+Three sizes mirror the paper's DistilBERT / RoBERTa / RoBERTa-Large
+comparison: the same architecture at increasing depth and width.  Widths are
+expressed as multipliers over the active :class:`~repro.config.Scale`'s
+``hidden_dim`` so that the relative ordering (Large > Base > Distil) is
+preserved at any experiment scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.config import Scale, get_scale
+from repro.lm.embeddings import CorpusEmbeddings
+from repro.nn import Embedding, Module, TransformerEncoder
+from repro.text.vocab import Vocabulary
+
+
+@dataclasses.dataclass(frozen=True)
+class LanguageModelSpec:
+    """Architecture recipe for one simulated checkpoint."""
+
+    name: str
+    paper_name: str
+    width_multiplier: float
+    extra_layers: int
+
+    def dim(self, scale: Scale) -> int:
+        heads = scale.num_heads
+        raw = int(scale.hidden_dim * self.width_multiplier)
+        return max((raw // heads) * heads, heads)  # divisible by head count
+
+    def layers(self, scale: Scale) -> int:
+        return max(scale.num_layers + self.extra_layers, 1)
+
+
+LANGUAGE_MODELS: Dict[str, LanguageModelSpec] = {
+    "distilbert": LanguageModelSpec("distilbert", "DistilBERT", 0.75, -1),
+    "bert": LanguageModelSpec("bert", "BERT", 1.0, 0),
+    "roberta": LanguageModelSpec("roberta", "RoBERTa", 1.0, 0),
+    "xlnet": LanguageModelSpec("xlnet", "XLNet", 1.0, 0),
+    "roberta-large": LanguageModelSpec("roberta-large", "RoBERTa-Large", 1.5, 1),
+}
+
+# The three sizes used in the Table 3 / Table 8 sweeps.
+LM_SWEEP = ("distilbert", "roberta", "roberta-large")
+
+
+class PretrainedLM(Module):
+    """A transformer encoder with a corpus-pretrained embedding table.
+
+    Plays the role of the HuggingFace checkpoint: ``encode`` maps padded id
+    matrices to contextual vectors; ``embed`` exposes raw (non-contextual)
+    word embeddings; both are differentiable so fine-tuning updates the
+    embeddings exactly as the paper's training process does (Section 5.3).
+    """
+
+    def __init__(self, spec: LanguageModelSpec, vocab: Vocabulary,
+                 embeddings: Optional[CorpusEmbeddings], scale: Scale,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(scale.seed)
+        self.spec = spec
+        self.vocab = vocab
+        self.dim = spec.dim(scale)
+        self.embedding = Embedding(len(vocab), self.dim, rng=rng)
+        if embeddings is not None:
+            k = min(embeddings.dim, self.dim)
+            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+        self.encoder = TransformerEncoder(
+            dim=self.dim,
+            num_layers=spec.layers(scale),
+            num_heads=scale.num_heads,
+            dropout=0.1,
+            max_len=max(scale.max_tokens * 4, 128),
+            rng=rng,
+        )
+
+    def embed(self, ids: np.ndarray) -> Tensor:
+        """Raw word embeddings (the paper's V^t)."""
+        return self.embedding(ids)
+
+    def encode(self, ids: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Contextual embeddings for padded id matrices (batch, seq)."""
+        return self.encoder(self.embed(ids), pad_mask=pad_mask)
+
+    def encode_cls(self, ids: np.ndarray, pad_mask: Optional[np.ndarray] = None) -> Tensor:
+        """[CLS] (position 0) summary vector per sequence."""
+        return self.encoder.cls_output(self.embed(ids), pad_mask=pad_mask)
+
+
+def load_language_model(name: str, vocab: Vocabulary,
+                        corpus: Optional[list] = None,
+                        scale: Optional[Scale] = None,
+                        rng: Optional[np.random.Generator] = None) -> PretrainedLM:
+    """Build a simulated checkpoint, pre-training embeddings on ``corpus``.
+
+    Mirrors ``AutoModel.from_pretrained(name)``: unknown names raise with the
+    list of available checkpoints.
+    """
+    if name not in LANGUAGE_MODELS:
+        raise KeyError(f"unknown language model {name!r}; available: {sorted(LANGUAGE_MODELS)}")
+    scale = scale or get_scale()
+    spec = LANGUAGE_MODELS[name]
+    embeddings = None
+    if corpus:
+        embeddings = CorpusEmbeddings(vocab, dim=spec.dim(scale), seed=scale.seed).fit(corpus)
+    return PretrainedLM(spec, vocab, embeddings, scale, rng=rng)

@@ -1,0 +1,33 @@
+"""Baseline ER matchers evaluated against HierGAT in Section 6.
+
+Pairwise baselines (Tables 3–4):
+    * :class:`MagellanMatcher` — classical ML over similarity features.
+    * :class:`DeepMatcherModel` — GRU-RNN attribute aggregation.
+    * :class:`DittoModel` — transformer over the serialized pair.
+
+Collective baselines (Tables 7–8):
+    * :class:`GCNMatcher`, :class:`GATMatcher` — plain graph models on pair graphs.
+    * :class:`HGATMatcher` — two-layer GAT following the HHG hierarchy.
+    * :class:`DMPlusMatcher` — HierMatcher-style hierarchical RNN (DM+).
+"""
+
+from repro.matchers.base import Matcher, evaluate_matcher
+from repro.matchers.magellan import MagellanMatcher
+from repro.matchers.deepmatcher import DeepMatcherModel
+from repro.matchers.deeper import DeepERModel
+from repro.matchers.ditto import DittoModel
+from repro.matchers.graph import GATMatcher, GCNMatcher, HGATMatcher
+from repro.matchers.dmplus import DMPlusMatcher
+
+__all__ = [
+    "Matcher",
+    "evaluate_matcher",
+    "MagellanMatcher",
+    "DeepMatcherModel",
+    "DeepERModel",
+    "DittoModel",
+    "GCNMatcher",
+    "GATMatcher",
+    "HGATMatcher",
+    "DMPlusMatcher",
+]

@@ -1,0 +1,51 @@
+"""Common matcher interface and evaluation helpers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.metrics import PRF1, precision_recall_f1
+from repro.data.schema import EntityPair, PairDataset
+
+
+class Matcher:
+    """Interface every ER model implements.
+
+    ``fit`` trains on the dataset's train split (using valid for model
+    selection where applicable); ``predict`` labels arbitrary pairs;
+    ``scores`` exposes match probabilities when available.
+    """
+
+    name: str = "matcher"
+    threshold: float = 0.5
+
+    def fit(self, dataset: PairDataset) -> "Matcher":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, pairs: Sequence[EntityPair]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Match probabilities in [0, 1]; default derives from predict()."""
+        return self.predict(pairs).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, pairs: Sequence[EntityPair]) -> PRF1:
+        labels = [p.label for p in pairs]
+        return precision_recall_f1(self.predict(pairs), labels)
+
+    def test_f1(self, dataset: PairDataset) -> float:
+        """F1 (percent) on the dataset's test split."""
+        return self.evaluate(dataset.split.test).f1 * 100.0
+
+
+def evaluate_matcher(matcher: Matcher, dataset: PairDataset) -> float:
+    """Train on the dataset and return test-set F1 in percent."""
+    matcher.fit(dataset)
+    return matcher.test_f1(dataset)
+
+
+def labels_of(pairs: Sequence[EntityPair]) -> List[int]:
+    return [p.label for p in pairs]

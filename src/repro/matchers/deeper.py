@@ -1,0 +1,112 @@
+"""DeepER baseline (Ebraheem et al., VLDB 2018) — the paper's reference [6].
+
+DeepER represents each tuple as a distributed vector: word embeddings of all
+attribute values are composed either by averaging or by an LSTM; the two
+tuple vectors' similarity features feed a classifier.  The paper discusses
+DeepER's unknown-word handling (Top-K co-occurrence averaging) in Section
+4.1; our vocabulary's hashed OOV buckets play that role here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, concat
+from repro.config import Scale, get_scale
+from repro.core.metrics import best_threshold_f1
+from repro.core.trainer import TrainConfig, TrainResult, predict_forward, train_pair_classifier
+from repro.data.schema import EntityPair, PairDataset
+from repro.lm.embeddings import CorpusEmbeddings
+from repro.matchers.base import Matcher, labels_of
+from repro.matchers.ditto import imbalance_weight
+from repro.matchers.encoding import build_vocabulary, pad_sequences
+from repro.nn import Embedding, LSTM, MLP, Module
+from repro.text.serialize import serialize_entity
+from repro.text.vocab import Vocabulary
+
+
+class _DeepERNetwork(Module):
+    """Tuple embedding (LSTM or mean composition) + similarity classifier."""
+
+    def __init__(self, vocab: Vocabulary, dim: int, composition: str,
+                 embeddings: Optional[CorpusEmbeddings], rng: np.random.Generator):
+        super().__init__()
+        if composition not in ("lstm", "average"):
+            raise ValueError("composition must be 'lstm' or 'average'")
+        self.composition = composition
+        self.embedding = Embedding(len(vocab), dim, rng=rng)
+        if embeddings is not None:
+            k = min(embeddings.dim, dim)
+            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+        self.lstm = LSTM(dim, dim, rng=rng) if composition == "lstm" else None
+        self.classifier = MLP(2 * dim, dim, 2, dropout=0.1, rng=rng)
+
+    def tuple_vector(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        embedded = self.embedding(ids)
+        if self.composition == "lstm":
+            _, final = self.lstm(embedded, pad_mask=mask)
+            return final
+        weights = mask.astype(np.float32)[:, :, None]
+        total = np.maximum(weights.sum(axis=1), 1.0)
+        return (embedded * Tensor(weights)).sum(axis=1) * Tensor(1.0 / total)
+
+    def forward(self, left: tuple, right: tuple) -> Tensor:
+        left_vec = self.tuple_vector(*left)
+        right_vec = self.tuple_vector(*right)
+        features = concat([(left_vec - right_vec).abs(), left_vec * right_vec], axis=1)
+        return self.classifier(features)
+
+
+class DeepERModel(Matcher):
+    """Tuple-embedding ER (composition: 'lstm' per the paper, or 'average')."""
+
+    name = "DeepER"
+
+    def __init__(self, composition: str = "lstm", scale: Optional[Scale] = None,
+                 seed: Optional[int] = None):
+        self.composition = composition
+        self.scale = scale or get_scale()
+        self.seed = self.scale.seed if seed is None else seed
+        self._network: Optional[_DeepERNetwork] = None
+        self._vocab: Optional[Vocabulary] = None
+        self.train_result: Optional[TrainResult] = None
+
+    def _encode_side(self, pairs: Sequence[EntityPair], side: str):
+        entities = [p.left if side == "left" else p.right for p in pairs]
+        sequences = [self._vocab.encode(serialize_entity(e)) for e in entities]
+        return pad_sequences(sequences, self._vocab.pad_id,
+                             max_len=self.scale.max_tokens)
+
+    def _forward(self, pairs: Sequence[EntityPair]) -> Tensor:
+        return self._network(self._encode_side(pairs, "left"),
+                             self._encode_side(pairs, "right"))
+
+    def fit(self, dataset: PairDataset) -> "DeepERModel":
+        rng = np.random.default_rng(self.seed)
+        self._vocab, corpus = build_vocabulary(dataset)
+        dim = max((self.scale.hidden_dim // 2 // 2) * 2, 4)
+        embeddings = CorpusEmbeddings(self._vocab, dim=dim, seed=self.seed).fit(corpus)
+        self._network = _DeepERNetwork(self._vocab, dim, self.composition,
+                                       embeddings, rng)
+        config = TrainConfig.from_scale(
+            self.scale, seed=self.seed,
+            positive_weight=imbalance_weight(dataset.split.train),
+        )
+        self.train_result = train_pair_classifier(
+            self._network, self._forward,
+            dataset.split.train, dataset.split.valid, config,
+        )
+        if dataset.split.valid:
+            valid_scores = self.scores(dataset.split.valid)
+            self.threshold = best_threshold_f1(valid_scores, labels_of(dataset.split.valid))
+        return self
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        if self._network is None:
+            raise RuntimeError("fit() must be called first")
+        return predict_forward(self._network, self._forward, pairs, self.scale.batch_size)
+
+    def predict(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        return (self.scores(pairs) >= self.threshold).astype(np.int64)

@@ -1,0 +1,202 @@
+"""Graph-neural baselines for the collective experiments (Table 7).
+
+* :class:`GCNMatcher` — spectral graph convolutions (Kipf & Welling) over the
+  pair's HHG treated as a homogeneous graph.
+* :class:`GATMatcher` — graph attention (Velickovic et al.) over the same
+  graph.
+* :class:`HGATMatcher` — "the hierarchical information propagation of GAT on
+  HHG ... two layers of GAT, the first layer gets the attribute embedding and
+  the second layer gets the entity embedding" (Section 6.3).
+
+All three initialise token features from corpus embeddings and classify from
+the two entity-node embeddings.  They ignore word order — the property the
+paper uses to explain why Ditto/HierGAT beat HGAT on long-text attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, concat, functional as F
+from repro.config import Scale, get_scale
+from repro.core.hhg import HHG
+from repro.core.trainer import TrainConfig, TrainResult, predict_forward, train_pair_classifier
+from repro.data.schema import EntityPair, PairDataset
+from repro.lm.embeddings import CorpusEmbeddings
+from repro.core.metrics import best_threshold_f1
+from repro.matchers.base import Matcher, labels_of
+from repro.matchers.ditto import imbalance_weight
+from repro.matchers.encoding import build_vocabulary
+from repro.nn import Embedding, GraphAttention, MLP, Module, Parameter
+from repro.nn.layers import xavier_uniform
+from repro.text.vocab import Vocabulary
+
+
+class GCNLayer(Module):
+    """H' = ReLU(D^{-1/2}(A+I)D^{-1/2} H W)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(xavier_uniform((in_dim, out_dim), rng))
+
+    @staticmethod
+    def normalize(adjacency: np.ndarray) -> np.ndarray:
+        a = adjacency.astype(np.float64) + np.eye(len(adjacency))
+        d = a.sum(axis=1)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(d, 1e-12))
+        return (a * inv_sqrt[:, None] * inv_sqrt[None, :]).astype(np.float32)
+
+    def forward(self, h: Tensor, norm_adjacency: np.ndarray) -> Tensor:
+        return F.relu(Tensor(norm_adjacency) @ (h @ self.weight))
+
+
+class _PairGraphNetwork(Module):
+    """Shared scaffolding: embed HHG nodes, propagate, classify entity pair."""
+
+    def __init__(self, vocab: Vocabulary, dim: int,
+                 embeddings: Optional[CorpusEmbeddings], rng: np.random.Generator):
+        super().__init__()
+        self.vocab = vocab
+        self.dim = dim
+        self.embedding = Embedding(len(vocab), dim, rng=rng)
+        if embeddings is not None:
+            k = min(embeddings.dim, dim)
+            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+        self.classifier = MLP(4 * dim, dim, 2, rng=rng)
+
+    def initial_features(self, graph: HHG) -> Tensor:
+        """Token features from embeddings; attribute/entity nodes from means."""
+        token_ids = np.array(self.vocab.encode(graph.tokens), dtype=np.int64)
+        token_feats = self.embedding(token_ids)
+        ta = graph.token_attribute_adjacency().astype(np.float32)
+        ta = ta / np.maximum(ta.sum(axis=1, keepdims=True), 1.0)
+        attr_feats = Tensor(ta) @ token_feats
+        ae = graph.attribute_entity_adjacency().astype(np.float32)
+        ae = ae / np.maximum(ae.sum(axis=1, keepdims=True), 1.0)
+        entity_feats = Tensor(ae) @ attr_feats
+        return concat([token_feats, attr_feats, entity_feats], axis=0)
+
+    def classify_entities(self, left: Tensor, right: Tensor) -> Tensor:
+        features = concat([left, right, (left - right).abs(), left * right], axis=0)
+        return self.classifier(features.reshape(1, -1))
+
+    def propagate(self, graph: HHG, features: Tensor) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def forward_one(self, pair: EntityPair) -> Tensor:
+        graph = HHG([pair.left, pair.right])
+        h = self.propagate(graph, self.initial_features(graph))
+        base = graph.num_tokens + graph.num_attributes
+        return self.classify_entities(h[base], h[base + 1])
+
+    def forward(self, pairs: Sequence[EntityPair]) -> Tensor:
+        return concat([self.forward_one(p) for p in pairs], axis=0)
+
+
+class _GCNNetwork(_PairGraphNetwork):
+    def __init__(self, vocab, dim, embeddings, rng):
+        super().__init__(vocab, dim, embeddings, rng)
+        self.layer1 = GCNLayer(dim, dim, rng)
+        self.layer2 = GCNLayer(dim, dim, rng)
+
+    def propagate(self, graph: HHG, features: Tensor) -> Tensor:
+        norm = GCNLayer.normalize(graph.dense_adjacency())
+        return self.layer2(self.layer1(features, norm), norm)
+
+
+class _GATNetwork(_PairGraphNetwork):
+    def __init__(self, vocab, dim, embeddings, rng):
+        super().__init__(vocab, dim, embeddings, rng)
+        self.layer1 = GraphAttention(dim, dim, num_heads=2, rng=rng)
+        self.layer2 = GraphAttention(dim, dim, num_heads=2, rng=rng)
+
+    def propagate(self, graph: HHG, features: Tensor) -> Tensor:
+        adj = graph.dense_adjacency()
+        return self.layer2(F.relu(self.layer1(features, adj)), adj)
+
+
+class _HGATNetwork(_PairGraphNetwork):
+    """Hierarchical propagation: tokens → attributes, then attributes → entities."""
+
+    def __init__(self, vocab, dim, embeddings, rng):
+        super().__init__(vocab, dim, embeddings, rng)
+        self.token_to_attr = GraphAttention(dim, dim, num_heads=2, rng=rng)
+        self.attr_to_entity = GraphAttention(dim, dim, num_heads=2, rng=rng)
+
+    def propagate(self, graph: HHG, features: Tensor) -> Tensor:
+        nt, na, ne = graph.num_tokens, graph.num_attributes, graph.num_entities
+        # Level 1: attribute nodes aggregate their tokens.
+        n1 = nt + na
+        adj1 = np.zeros((n1, n1), dtype=bool)
+        ta = graph.token_attribute_adjacency()
+        adj1[nt:, :nt] = ta
+        adj1[:nt, nt:] = ta.T
+        level1 = self.token_to_attr(features[:n1], adj1)
+        attrs = F.relu(level1[nt:])
+        # Level 2: entity nodes aggregate their attributes.
+        n2 = na + ne
+        adj2 = np.zeros((n2, n2), dtype=bool)
+        ae = graph.attribute_entity_adjacency()
+        adj2[na:, :na] = ae
+        adj2[:na, na:] = ae.T
+        entity_in = concat([attrs, features[nt + na:]], axis=0)
+        level2 = self.attr_to_entity(entity_in, adj2)
+        entities = level2[na:]
+        return concat([features[:nt], attrs, entities], axis=0)
+
+
+class _GraphMatcherBase(Matcher):
+    """Common fit/predict plumbing for the three graph baselines."""
+
+    network_cls = None
+
+    def __init__(self, scale: Optional[Scale] = None, seed: Optional[int] = None):
+        self.scale = scale or get_scale()
+        self.seed = self.scale.seed if seed is None else seed
+        self._network = None
+        self.train_result: Optional[TrainResult] = None
+
+    def _forward(self, pairs: Sequence[EntityPair]) -> Tensor:
+        return self._network(pairs)
+
+    def fit(self, dataset: PairDataset) -> "Matcher":
+        rng = np.random.default_rng(self.seed)
+        vocab, corpus = build_vocabulary(dataset)
+        dim = max((self.scale.hidden_dim // 2 // 2) * 2, 4)
+        embeddings = CorpusEmbeddings(vocab, dim=dim, seed=self.seed).fit(corpus)
+        self._network = self.network_cls(vocab, dim, embeddings, rng)
+        config = TrainConfig.from_scale(self.scale, seed=self.seed,
+                                        positive_weight=imbalance_weight(dataset.split.train))
+        self.train_result = train_pair_classifier(
+            self._network, self._forward,
+            dataset.split.train, dataset.split.valid, config,
+        )
+        if dataset.split.valid:
+            valid_scores = self.scores(dataset.split.valid)
+            self.threshold = best_threshold_f1(valid_scores, labels_of(dataset.split.valid))
+        return self
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        if self._network is None:
+            raise RuntimeError("fit() must be called first")
+        return predict_forward(self._network, self._forward, pairs, self.scale.batch_size)
+
+    def predict(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        return (self.scores(pairs) >= self.threshold).astype(np.int64)
+
+
+class GCNMatcher(_GraphMatcherBase):
+    name = "GCN"
+    network_cls = _GCNNetwork
+
+
+class GATMatcher(_GraphMatcherBase):
+    name = "GAT"
+    network_cls = _GATNetwork
+
+
+class HGATMatcher(_GraphMatcherBase):
+    name = "HGAT"
+    network_cls = _HGATNetwork

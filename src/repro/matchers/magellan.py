@@ -1,0 +1,76 @@
+"""The Magellan baseline (Konda et al., VLDB 2016).
+
+"We use it to train five classifiers (decision tree, random forest, SVM,
+linear regression, and logistic regression) and then use the validation set
+to choose the best classifier."  (Section 6.1)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.metrics import precision_recall_f1
+from repro.data.schema import EntityPair, PairDataset
+from repro.matchers.base import Matcher, labels_of
+from repro.ml.features import featurize_pairs
+from repro.ml.forest import RandomForest
+from repro.ml.linear import LinearRegressionClassifier, LinearSVM, LogisticRegression
+from repro.ml.tree import DecisionTree
+
+
+class MagellanMatcher(Matcher):
+    """Feature-engineering ER with validation-based classifier selection."""
+
+    name = "Magellan"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.best_classifier_name: Optional[str] = None
+        self._model = None
+        self._width = 0
+
+    def _candidates(self):
+        return [
+            ("decision_tree", DecisionTree(max_depth=8, rng=np.random.default_rng(self.seed))),
+            ("random_forest", RandomForest(n_trees=15, seed=self.seed)),
+            ("svm", LinearSVM()),
+            ("linear_regression", LinearRegressionClassifier()),
+            ("logistic_regression", LogisticRegression()),
+        ]
+
+    def _featurize(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        X = featurize_pairs(pairs)
+        if self._width:
+            if X.shape[1] < self._width:
+                X = np.hstack([X, np.zeros((len(X), self._width - X.shape[1]))])
+            X = X[:, :self._width]
+        return X
+
+    def fit(self, dataset: PairDataset) -> "MagellanMatcher":
+        X_train = featurize_pairs(dataset.split.train)
+        self._width = X_train.shape[1]
+        y_train = np.asarray(labels_of(dataset.split.train))
+        X_valid = self._featurize(dataset.split.valid)
+        y_valid = np.asarray(labels_of(dataset.split.valid))
+
+        best_f1 = -1.0
+        for name, model in self._candidates():
+            model.fit(X_train, y_train)
+            f1 = precision_recall_f1(model.predict(X_valid), y_valid).f1
+            if f1 > best_f1:
+                best_f1 = f1
+                self.best_classifier_name = name
+                self._model = model
+        return self
+
+    def predict(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("fit() must be called first")
+        return self._model.predict(self._featurize(pairs))
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("fit() must be called first")
+        return self._model.predict_proba(self._featurize(pairs))

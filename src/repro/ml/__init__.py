@@ -1,0 +1,24 @@
+"""Classical machine learning, implemented from scratch.
+
+The Magellan baseline (Konda et al., VLDB 2016) trains five classifiers —
+decision tree, random forest, SVM, linear regression, and logistic regression
+— over engineered string-similarity features and picks the best on the
+validation set.  No sklearn is available offline, so this package provides
+all five plus the feature library.
+"""
+
+from repro.ml.features import FEATURE_NAMES, pair_features, similarity_features
+from repro.ml.linear import LinearRegressionClassifier, LinearSVM, LogisticRegression
+from repro.ml.tree import DecisionTree
+from repro.ml.forest import RandomForest
+
+__all__ = [
+    "FEATURE_NAMES",
+    "pair_features",
+    "similarity_features",
+    "DecisionTree",
+    "RandomForest",
+    "LogisticRegression",
+    "LinearRegressionClassifier",
+    "LinearSVM",
+]

@@ -1,0 +1,54 @@
+"""Random forest: bagged decision trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTree
+
+
+class RandomForest:
+    """Average of ``n_trees`` CART trees on bootstrap samples."""
+
+    def __init__(self, n_trees: int = 15, max_depth: int = 8,
+                 min_samples_leaf: int = 2, max_features: str = "sqrt",
+                 seed: int = 0):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list = []
+
+    def _features_per_split(self, d: int) -> int:
+        if self.max_features == "sqrt":
+            return max(int(np.sqrt(d)), 1)
+        if self.max_features == "all":
+            return d
+        raise ValueError(f"unknown max_features {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self._features_per_split(d),
+                rng=np.random.default_rng(rng.integers(1 << 31)),
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        return np.mean([t.predict_proba(X) for t in self._trees], axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)

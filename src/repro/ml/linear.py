@@ -1,0 +1,122 @@
+"""Linear models: logistic regression, linear-regression classifier, linear SVM.
+
+All three of Magellan's linear classifier options, trained by full-batch
+gradient descent on standardised features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _StandardScaler:
+    def fit(self, X: np.ndarray) -> "_StandardScaler":
+        self.mean_ = X.mean(axis=0)
+        self.std_ = X.std(axis=0)
+        self.std_[self.std_ == 0] = 1.0
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.mean_) / self.std_
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 regularisation (full-batch GD)."""
+
+    def __init__(self, lr: float = 0.5, epochs: int = 300, l2: float = 1e-3):
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self._scaler = _StandardScaler().fit(X)
+        Xs = self._scaler.transform(X)
+        n, d = Xs.shape
+        self.w_ = np.zeros(d)
+        self.b_ = 0.0
+        for _ in range(self.epochs):
+            z = Xs @ self.w_ + self.b_
+            p = 1.0 / (1.0 + np.exp(-z))
+            grad_w = Xs.T @ (p - y) / n + self.l2 * self.w_
+            grad_b = float((p - y).mean())
+            self.w_ -= self.lr * grad_w
+            self.b_ -= self.lr * grad_b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        return 1.0 / (1.0 + np.exp(-(Xs @ self.w_ + self.b_)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+
+class LinearRegressionClassifier:
+    """Least-squares regression onto {0,1}, thresholded at 0.5.
+
+    This is Magellan's "linear regression" classifier option; solved in
+    closed form via the normal equations with ridge damping.
+    """
+
+    def __init__(self, l2: float = 1e-3):
+        self.l2 = l2
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegressionClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self._scaler = _StandardScaler().fit(X)
+        Xs = np.hstack([self._scaler.transform(X), np.ones((len(X), 1))])
+        d = Xs.shape[1]
+        gram = Xs.T @ Xs + self.l2 * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, Xs.T @ y)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = np.hstack([
+            self._scaler.transform(np.asarray(X, dtype=np.float64)),
+            np.ones((len(X), 1)),
+        ])
+        return np.clip(Xs @ self.coef_, 0.0, 1.0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+
+class LinearSVM:
+    """Linear SVM trained with sub-gradient descent on the hinge loss."""
+
+    def __init__(self, lr: float = 0.1, epochs: int = 300, c: float = 1.0):
+        self.lr = lr
+        self.epochs = epochs
+        self.c = c
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X = np.asarray(X, dtype=np.float64)
+        y_signed = np.where(np.asarray(y) > 0, 1.0, -1.0)
+        self._scaler = _StandardScaler().fit(X)
+        Xs = self._scaler.transform(X)
+        n, d = Xs.shape
+        self.w_ = np.zeros(d)
+        self.b_ = 0.0
+        for epoch in range(self.epochs):
+            lr = self.lr / (1.0 + 0.01 * epoch)
+            margins = y_signed * (Xs @ self.w_ + self.b_)
+            active = margins < 1.0
+            grad_w = self.w_ / max(n, 1) - self.c * (Xs[active].T @ y_signed[active]) / n
+            grad_b = -self.c * float(y_signed[active].sum()) / n
+            self.w_ -= lr * grad_w
+            self.b_ -= lr * grad_b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        Xs = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        return Xs @ self.w_ + self.b_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Sigmoid-squashed margins (a crude Platt scaling)."""
+        return 1.0 / (1.0 + np.exp(-self.decision_function(X)))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(np.int64)

@@ -1,0 +1,129 @@
+"""CART-style decision tree classifier (gini impurity, binary splits)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: float = 0.0  # probability of class 1 at a leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p**2).sum())
+
+
+class DecisionTree:
+    """Binary classification tree.
+
+    Candidate thresholds are midpoints between consecutive distinct sorted
+    feature values; the split minimising weighted gini impurity wins.
+    ``max_features`` (used by the random forest) subsamples the features
+    considered at each node.
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 2,
+                 max_features: Optional[int] = None, rng: Optional[np.random.Generator] = None):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be (n, d) aligned with y")
+        self.n_features_ = X.shape[1]
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()) if len(y) else 0.0)
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf or len(np.unique(y)) == 1:
+            return node
+        best = self._best_split(X, y)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n, d = X.shape
+        parent_counts = np.bincount(y, minlength=2).astype(np.float64)
+        parent_gini = _gini(parent_counts)
+        best_gain = 1e-7
+        best = None
+        if self.max_features is not None and self.max_features < d:
+            features = self.rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = range(d)
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Prefix class counts enable O(n) split evaluation per feature.
+            ones = np.cumsum(ys)
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i] == xs[i - 1]:
+                    continue
+                left_counts = np.array([i - ones[i - 1], ones[i - 1]], dtype=np.float64)
+                right_counts = parent_counts - left_counts
+                if right_counts.sum() < self.min_samples_leaf:
+                    continue
+                gain = parent_gini - (
+                    (i / n) * _gini(left_counts) + ((n - i) / n) * _gini(right_counts)
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = (xs[i - 1] + xs[min(i, n - 1)]) / 2.0
+                    best = (int(feature), float(threshold))
+        return best
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,39 @@
+"""Neural-network building blocks on top of :mod:`repro.autograd`.
+
+Provides the layer types the paper's models are assembled from: linear and
+embedding layers, layer norm, dropout, multi-head self-attention, transformer
+encoders (the "pre-trained language model" substrate), GRUs (DeepMatcher's
+RNN), and graph-attention layers (GAT / the paper's ``GraphAttn`` operation).
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, MLP
+from repro.nn.attention import GraphAttention, GraphAttnPool, MaskedAttnPool, MultiHeadSelfAttention
+from repro.nn.transformer import (
+    PositionalEncoding,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+from repro.nn.rnn import GRU, GRUCell, LSTM, LSTMCell
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "GraphAttention",
+    "GraphAttnPool",
+    "MaskedAttnPool",
+    "PositionalEncoding",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+]

@@ -1,0 +1,137 @@
+"""GRU recurrent layers — the substrate for the DeepMatcher baseline.
+
+DeepMatcher (Mudgal et al., SIGMOD 2018) aggregates attribute token sequences
+with a bidirectional GRU; we provide :class:`GRUCell` and a (bi)directional
+:class:`GRU` wrapper over batched sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, concat, functional as F, get_default_dtype, stack
+from repro.nn.layers import xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+class GRUCell(Module):
+    """A single GRU step: h' = (1 - z) * n + z * h."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gates packed as [reset | update | new] for input and hidden paths.
+        self.w_ih = Parameter(xavier_uniform((input_dim, 3 * hidden_dim), rng))
+        self.w_hh = Parameter(xavier_uniform((hidden_dim, 3 * hidden_dim), rng))
+        self.b_ih = Parameter(np.zeros(3 * hidden_dim, dtype=get_default_dtype()))
+        self.b_hh = Parameter(np.zeros(3 * hidden_dim, dtype=get_default_dtype()))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        d = self.hidden_dim
+        gi = x @ self.w_ih + self.b_ih
+        gh = h @ self.w_hh + self.b_hh
+        reset = F.sigmoid(gi[:, 0:d] + gh[:, 0:d])
+        update = F.sigmoid(gi[:, d:2 * d] + gh[:, d:2 * d])
+        new = (gi[:, 2 * d:3 * d] + reset * gh[:, 2 * d:3 * d]).tanh()
+        one = Tensor(np.ones((), dtype=x.data.dtype))
+        return (one - update) * new + update * h
+
+
+class GRU(Module):
+    """Run a GRU (optionally bidirectional) over ``(batch, seq, input_dim)``.
+
+    Returns ``(outputs, final)`` where ``outputs`` is ``(batch, seq, H)`` and
+    ``final`` is ``(batch, H)`` with ``H = hidden_dim * directions``.  A
+    boolean ``pad_mask`` (True = valid) freezes the hidden state on padding
+    so variable-length sequences batch correctly.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, bidirectional: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.bidirectional = bidirectional
+        self.forward_cell = GRUCell(input_dim, hidden_dim, rng=rng)
+        self.backward_cell = GRUCell(input_dim, hidden_dim, rng=rng) if bidirectional else None
+
+    def _run(self, cell: GRUCell, x: Tensor, pad_mask: Optional[np.ndarray],
+             reverse: bool) -> Tuple[Tensor, Tensor]:
+        batch, seq, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim), dtype=x.data.dtype))
+        steps = range(seq - 1, -1, -1) if reverse else range(seq)
+        outputs = [None] * seq
+        for t in steps:
+            x_t = x[:, t, :]
+            h_new = cell(x_t, h)
+            if pad_mask is not None:
+                valid = pad_mask[:, t].astype(x.data.dtype)[:, None]
+                h = F.where(valid > 0, h_new, h)
+            else:
+                h = h_new
+            outputs[t] = h
+        return stack(outputs, axis=1), h
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tuple[Tensor, Tensor]:
+        fwd_out, fwd_h = self._run(self.forward_cell, x, pad_mask, reverse=False)
+        if not self.bidirectional:
+            return fwd_out, fwd_h
+        bwd_out, bwd_h = self._run(self.backward_cell, x, pad_mask, reverse=True)
+        return concat([fwd_out, bwd_out], axis=2), concat([fwd_h, bwd_h], axis=1)
+
+
+class LSTMCell(Module):
+    """A single LSTM step (Hochreiter & Schmidhuber 1997) — used by DeepER."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gates packed as [input | forget | cell | output].
+        self.w_ih = Parameter(xavier_uniform((input_dim, 4 * hidden_dim), rng))
+        self.w_hh = Parameter(xavier_uniform((hidden_dim, 4 * hidden_dim), rng))
+        self.bias = Parameter(np.zeros(4 * hidden_dim, dtype=get_default_dtype()))
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        h, c = state
+        d = self.hidden_dim
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        i = F.sigmoid(gates[:, 0:d])
+        f = F.sigmoid(gates[:, d:2 * d] + Tensor(np.ones((), dtype=x.data.dtype)))  # forget bias 1
+        g = gates[:, 2 * d:3 * d].tanh()
+        o = F.sigmoid(gates[:, 3 * d:4 * d])
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over ``(batch, seq, input_dim)`` with padding mask."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tuple[Tensor, Tensor]:
+        batch, seq, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim), dtype=x.data.dtype))
+        c = Tensor(np.zeros((batch, self.hidden_dim), dtype=x.data.dtype))
+        outputs = []
+        for t in range(seq):
+            h_new, c_new = self.cell(x[:, t, :], (h, c))
+            if pad_mask is not None:
+                valid = pad_mask[:, t].astype(x.data.dtype)[:, None]
+                h = F.where(valid > 0, h_new, h)
+                c = F.where(valid > 0, c_new, c)
+            else:
+                h, c = h_new, c_new
+            outputs.append(h)
+        return stack(outputs, axis=1), h

@@ -1,0 +1,111 @@
+"""End-to-end ER pipeline (the paper's Figure 5 and problem definition).
+
+Section 2.1 defines ER as producing a matching matrix ``L ⊆ D × D'`` from two
+entity collections.  :class:`ERPipeline` wires the full system together:
+
+    blocker (keyword overlap)  →  matcher (HierGAT by default)  →  L
+
+``fit`` trains the matcher on labeled pairs; ``resolve`` takes two raw tables
+and returns the sparse matching matrix plus per-pair scores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blocking.keyword import overlap_blocker
+from repro.data.schema import Entity, EntityPair, PairDataset
+from repro.matchers.base import Matcher
+
+
+@dataclasses.dataclass
+class ResolutionResult:
+    """The matching matrix L and its provenance."""
+
+    matches: List[Tuple[int, int]]          # (i, j) indices into the tables
+    scores: Dict[Tuple[int, int], float]    # match probability per candidate
+    num_candidates: int                     # pairs surviving blocking
+    num_comparisons_avoided: int            # |A|*|B| - candidates
+
+    def matrix(self, shape: Tuple[int, int]) -> np.ndarray:
+        """Dense boolean matching matrix (small tables only)."""
+        out = np.zeros(shape, dtype=bool)
+        for i, j in self.matches:
+            out[i, j] = True
+        return out
+
+
+class ERPipeline:
+    """Blocking + matching, packaged the way a downstream user consumes ER."""
+
+    def __init__(self, matcher: Optional[Matcher] = None,
+                 min_shared_tokens: int = 2):
+        if matcher is None:
+            from repro.core import HierGAT
+
+            matcher = HierGAT()
+        self.matcher = matcher
+        self.min_shared_tokens = min_shared_tokens
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: PairDataset) -> "ERPipeline":
+        """Train the matcher on a labeled benchmark."""
+        self.matcher.fit(dataset)
+        self._fitted = True
+        return self
+
+    def resolve(self, table_a: Sequence[Entity], table_b: Sequence[Entity],
+                batch_hint: int = 64) -> ResolutionResult:
+        """Produce the matching matrix for two raw tables.
+
+        Blocking prunes the cross product with keyword overlap (Section 2.1:
+        "the blocking step uses word matching to filter out the unmatching
+        pairs"); the trained matcher scores the survivors.
+        """
+        if not self._fitted:
+            raise RuntimeError("fit() the pipeline before resolve()")
+        if not table_a or not table_b:
+            return ResolutionResult([], {}, 0, len(table_a) * len(table_b))
+
+        candidates = overlap_blocker(table_a, table_b,
+                                     min_shared_tokens=self.min_shared_tokens)
+        pairs = [EntityPair(table_a[i], table_b[j], 0) for i, j in candidates]
+        scores: Dict[Tuple[int, int], float] = {}
+        matches: List[Tuple[int, int]] = []
+        for start in range(0, len(pairs), batch_hint):
+            chunk = pairs[start:start + batch_hint]
+            chunk_scores = self.matcher.scores(chunk)
+            for (i, j), score in zip(candidates[start:start + batch_hint], chunk_scores):
+                scores[(i, j)] = float(score)
+                if score >= self.matcher.threshold:
+                    matches.append((i, j))
+        avoided = len(table_a) * len(table_b) - len(candidates)
+        return ResolutionResult(
+            matches=matches,
+            scores=scores,
+            num_candidates=len(candidates),
+            num_comparisons_avoided=avoided,
+        )
+
+    def resolve_one_to_one(self, table_a: Sequence[Entity],
+                           table_b: Sequence[Entity]) -> ResolutionResult:
+        """Greedy one-to-one assignment: each record matches at most once.
+
+        Useful when the sources are known deduplicated catalogs; keeps the
+        highest-scoring match per record, greedily by score.
+        """
+        raw = self.resolve(table_a, table_b)
+        taken_a: set = set()
+        taken_b: set = set()
+        kept: List[Tuple[int, int]] = []
+        for (i, j) in sorted(raw.matches, key=lambda ij: -raw.scores[ij]):
+            if i in taken_a or j in taken_b:
+                continue
+            taken_a.add(i)
+            taken_b.add(j)
+            kept.append((i, j))
+        return dataclasses.replace(raw, matches=kept)

@@ -1,0 +1,42 @@
+"""Text processing: tokenization, vocabulary, and entity serialization.
+
+This is the input side of every matcher: raw attribute strings are tokenized
+(:mod:`repro.text.tokenizer`), mapped to ids against a corpus vocabulary with
+hashed out-of-vocabulary buckets (:mod:`repro.text.vocab`), and serialized in
+the formats the different models expect (:mod:`repro.text.serialize`) —
+Ditto-style ``[COL] k [VAL] v`` sequences and the per-attribute token lists
+that the HHG is built from.
+"""
+
+from repro.text.tokenizer import Tokenizer, tokenize
+from repro.text.vocab import (
+    CLS_TOKEN,
+    COL_TOKEN,
+    NAN_TOKEN,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    UNK_TOKEN,
+    VAL_TOKEN,
+    Vocabulary,
+)
+from repro.text.serialize import (
+    serialize_attribute,
+    serialize_entity,
+    serialize_pair,
+)
+
+__all__ = [
+    "Tokenizer",
+    "tokenize",
+    "Vocabulary",
+    "PAD_TOKEN",
+    "CLS_TOKEN",
+    "SEP_TOKEN",
+    "UNK_TOKEN",
+    "COL_TOKEN",
+    "VAL_TOKEN",
+    "NAN_TOKEN",
+    "serialize_attribute",
+    "serialize_entity",
+    "serialize_pair",
+]

@@ -1,0 +1,67 @@
+"""Serialization of entities into model input formats.
+
+Two formats are needed:
+
+* **Ditto format** — the whole entity flattened into one sequence:
+  ``[COL] key1 [VAL] v11 v12 [COL] key2 [VAL] v21 ...``; pairs are joined as
+  ``[CLS] serialize(e1) [SEP] serialize(e2) [SEP]`` (Section 5.2.1).
+* **Structured format** — per-attribute token lists preserving the entity
+  hierarchy, which the HHG construction (Section 2.2) and the attribute
+  summarization layer (Section 5.1.1) consume.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.text.tokenizer import tokenize
+from repro.text.vocab import CLS_TOKEN, COL_TOKEN, SEP_TOKEN, VAL_TOKEN
+
+if TYPE_CHECKING:  # avoid a circular import; Entity is only needed for typing
+    from repro.data.schema import Entity
+
+
+def serialize_attribute(key: str, value: str, max_value_tokens: int = 0) -> List[str]:
+    """One attribute as ``[COL] key [VAL] value-tokens``."""
+    value_tokens = tokenize(value)
+    if max_value_tokens and len(value_tokens) > max_value_tokens:
+        value_tokens = value_tokens[:max_value_tokens]
+    return [COL_TOKEN, *tokenize(key), VAL_TOKEN, *value_tokens]
+
+
+def serialize_entity(entity: 'Entity', max_value_tokens: int = 0) -> List[str]:
+    """Whole entity in Ditto's flat ``[COL]/[VAL]`` format."""
+    tokens: List[str] = []
+    for key, value in entity.attributes:
+        tokens.extend(serialize_attribute(key, value, max_value_tokens=max_value_tokens))
+    return tokens
+
+
+def serialize_pair(left: 'Entity', right: 'Entity', max_tokens: int = 0) -> List[str]:
+    """``[CLS] e1 [SEP] e2 [SEP]`` — the transformer pair-classification input.
+
+    When ``max_tokens`` is set, both sides are truncated evenly so the final
+    sequence fits (mirroring the paper's 512-token cap).
+    """
+    left_tokens = serialize_entity(left)
+    right_tokens = serialize_entity(right)
+    if max_tokens:
+        budget = max_tokens - 3  # [CLS] + 2 × [SEP]
+        per_side = max(budget // 2, 1)
+        left_tokens = left_tokens[:per_side]
+        right_tokens = right_tokens[:per_side]
+    return [CLS_TOKEN, *left_tokens, SEP_TOKEN, *right_tokens, SEP_TOKEN]
+
+
+def attribute_token_lists(entity: 'Entity', max_value_tokens: int = 0) -> List[Tuple[str, List[str]]]:
+    """Structured view: ``[(key, value-tokens), ...]`` preserving order.
+
+    This is the ``[<key, [word]>]`` form of Section 2.2 used to build the HHG.
+    """
+    out: List[Tuple[str, List[str]]] = []
+    for key, value in entity.attributes:
+        tokens = tokenize(value)
+        if max_value_tokens and len(tokens) > max_value_tokens:
+            tokens = tokens[:max_value_tokens]
+        out.append((key, tokens))
+    return out

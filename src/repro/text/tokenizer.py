@@ -1,0 +1,41 @@
+"""Tokenization of attribute values.
+
+A deliberately simple, deterministic tokenizer: lowercase, split on
+non-alphanumeric boundaries, keep digits and words, preserve order.  Matches
+the word-level granularity the paper's HHG token layer uses (each distinct
+word becomes one token node).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:\.[0-9]+)?")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lowercase word/number tokens.
+
+    >>> tokenize("Adobe Spark v2.0 (Big-Data)")
+    ['adobe', 'spark', 'v2.0', 'big', 'data']
+    """
+    if text is None:
+        return []
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Tokenizer:
+    """Configurable tokenizer with an optional maximum token count per field."""
+
+    def __init__(self, max_tokens: int = 0):
+        self.max_tokens = max_tokens
+
+    def __call__(self, text: str) -> List[str]:
+        tokens = tokenize(text)
+        if self.max_tokens and len(tokens) > self.max_tokens:
+            tokens = tokens[: self.max_tokens]
+        return tokens
+
+    def __repr__(self) -> str:
+        return f"Tokenizer(max_tokens={self.max_tokens})"

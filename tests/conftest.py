@@ -1,0 +1,32 @@
+"""Shared test fixtures: every test runs at the tiny CI scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Scale, set_scale
+
+
+@pytest.fixture(autouse=True)
+def ci_scale():
+    """Force the tiny CI scale for all tests (seconds, not minutes)."""
+    set_scale(Scale.ci())
+    yield
+    set_scale(Scale())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def f64():
+    """Switch the default dtype to float64 for gradient checks."""
+    from repro.autograd import get_default_dtype, set_default_dtype
+
+    previous = get_default_dtype()
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)

@@ -1,0 +1,124 @@
+"""Edge-case tests for autograd: shapes, dtypes, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, concat, functional as F, no_grad, stack
+
+
+class TestShapesAndDtypes:
+    def test_scalar_tensor_roundtrip(self):
+        x = Tensor(3.5, requires_grad=True)
+        (x * 2).backward(np.ones(()))
+        assert x.grad.shape == ()
+        np.testing.assert_allclose(x.grad, 2.0)
+
+    def test_float32_preserved(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert (x + 1.0).dtype == np.float32
+
+    def test_grad_shape_mismatch_rejected(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(4))
+
+    def test_empty_axis_sum(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = x.sum(axis=(0, 1))
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_negative_axis_sum(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum(axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+    def test_reshape_tuple_and_varargs(self):
+        x = Tensor(np.arange(6.0))
+        assert x.reshape(2, 3).shape == (2, 3)
+        assert x.reshape((3, 2)).shape == (3, 2)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+class TestGraphMechanics:
+    def test_shared_subexpression_counted_twice(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x          # dy/dx = 2x = 4
+        z = y + y          # dz/dx = 2 * 4 = 8
+        z.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_long_chain_survives_recursion_limits(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        out = x
+        for _ in range(3000):  # iterative topo-sort, no RecursionError
+            out = out + 0.001
+        out.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_grad_not_tracked_through_no_grad_island(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            frozen = x * 5.0
+        out = Tensor(frozen.data) * 1.0 + x
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])  # only the direct path
+
+    def test_mixed_requires_grad_operands(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2))  # constant
+        (a * b).sum().backward()
+        assert b.grad is None
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+    def test_backward_through_stack_and_indexing(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        s[0].sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 0.0, 0.0])
+
+
+class TestFunctionalEdges:
+    def test_softmax_single_element(self):
+        out = F.softmax(Tensor(np.array([[7.0]])), axis=-1)
+        np.testing.assert_allclose(out.data, [[1.0]])
+
+    def test_masked_fill_all_masked_row_softmax_uniform(self):
+        x = Tensor(np.zeros((1, 3)), requires_grad=True)
+        masked = F.masked_fill(x, np.array([[True, True, True]]), -1e9)
+        out = F.softmax(masked, axis=-1)
+        np.testing.assert_allclose(out.data, np.full((1, 3), 1 / 3))
+
+    def test_dropout_p_zero_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_embedding_empty_batch(self):
+        w = Tensor(np.ones((5, 3)), requires_grad=True)
+        out = F.embedding(w, np.zeros((0,), dtype=np.int64))
+        assert out.shape == (0, 3)
+
+    def test_where_broadcast_condition(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        cond = np.array([[True], [False]])  # broadcast over columns
+        out = F.where(cond, a, b)
+        np.testing.assert_allclose(out.data, [[1, 1, 1], [0, 0, 0]])
+
+    def test_concat_negative_axis(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = concat([a, a], axis=-1)
+        assert out.shape == (2, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+
+    def test_cross_entropy_extreme_logits_finite(self):
+        logits = Tensor(np.array([[1000.0, -1000.0]]), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([1]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))

@@ -1,0 +1,105 @@
+"""Tests for the keyword and TF-IDF blockers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking import TfidfIndex, overlap_blocker, shared_token_count
+from repro.blocking.keyword import block_recall
+from repro.data.schema import Entity
+
+
+def product(uid, title):
+    return Entity.from_dict(uid, {"title": title})
+
+
+class TestOverlapBlocker:
+    def test_shared_token_count(self):
+        a = product("a", "acme laser printer")
+        b = product("b", "acme inkjet printer")
+        assert shared_token_count(a, b) == 2
+
+    def test_blocker_finds_overlapping_pairs(self):
+        table_a = [product("a0", "acme laser printer"), product("a1", "zeta watch")]
+        table_b = [product("b0", "acme printer cartridge"), product("b1", "gamma shoe")]
+        candidates = overlap_blocker(table_a, table_b, min_shared_tokens=2)
+        assert (0, 0) in candidates
+        assert (1, 1) not in candidates
+
+    def test_min_tokens_threshold(self):
+        table_a = [product("a0", "acme laser")]
+        table_b = [product("b0", "acme inkjet")]
+        assert overlap_blocker(table_a, table_b, min_shared_tokens=1)
+        assert not overlap_blocker(table_a, table_b, min_shared_tokens=2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            overlap_blocker([], [], min_shared_tokens=0)
+
+    def test_block_recall_metric(self):
+        candidates = [(0, 0), (1, 1)]
+        assert block_recall(candidates, [(0, 0)]) == 1.0
+        assert block_recall(candidates, [(0, 0), (2, 2)]) == 0.5
+        assert block_recall(candidates, []) == 1.0
+
+    def test_blocker_prunes_vs_cross_product(self):
+        rng = np.random.default_rng(0)
+        words = [f"w{i}" for i in range(50)]
+        table_a = [product(f"a{i}", " ".join(rng.choice(words, 3))) for i in range(20)]
+        table_b = [product(f"b{i}", " ".join(rng.choice(words, 3))) for i in range(20)]
+        candidates = overlap_blocker(table_a, table_b, min_shared_tokens=2)
+        assert len(candidates) < 20 * 20
+
+
+class TestTfidfIndex:
+    def corpus(self):
+        return [
+            product("p0", "acme laser printer fast"),
+            product("p1", "acme laser printer"),
+            product("p2", "zeta quartz watch"),
+            product("p3", "gamma running shoe"),
+        ]
+
+    def test_self_similarity_highest(self):
+        index = TfidfIndex(self.corpus())
+        hits = index.query(product("q", "acme laser printer"), top_n=2)
+        assert hits[0][0] in (0, 1)
+        assert hits[0][1] > hits[-1][1] - 1e-9
+
+    def test_exclude_uid(self):
+        entities = self.corpus()
+        index = TfidfIndex(entities)
+        hits = index.query(entities[0], top_n=3)
+        assert all(index.entities[i].uid != "p0" for i, _ in hits)
+
+    def test_query_returns_requested_count(self):
+        index = TfidfIndex(self.corpus())
+        assert len(index.query(product("q", "acme"), top_n=3)) == 3
+
+    def test_unseen_tokens_give_zero_vector(self):
+        index = TfidfIndex(self.corpus())
+        vec = index.vectorize(product("q", "completely novel tokens"))
+        assert vec.nnz == 0
+
+    def test_scores_in_unit_range(self):
+        index = TfidfIndex(self.corpus())
+        for _, score in index.query(product("q", "acme laser watch"), top_n=4):
+            assert -1e-9 <= score <= 1.0 + 1e-9
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ValueError):
+            TfidfIndex([])
+
+    def test_idf_downweights_common_terms(self):
+        # "acme" appears in 2 docs, "watch" in 1: matching the rarer term
+        # should score higher against its own document.
+        index = TfidfIndex(self.corpus())
+        watch_hits = dict(index.query(product("q", "watch"), top_n=4))
+        acme_hits = dict(index.query(product("q", "acme"), top_n=4))
+        assert watch_hits[2] > acme_hits[0]
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_query_never_crashes(self, words):
+        index = TfidfIndex(self.corpus())
+        index.query(product("q", " ".join(words)), top_n=2)

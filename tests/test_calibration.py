@@ -1,0 +1,95 @@
+"""Tests for score-calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calibration import (
+    apply_temperature, calibration_report, fit_temperature,
+)
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(5000)
+        labels = (rng.random(5000) < scores).astype(int)
+        report = calibration_report(scores, labels)
+        assert report.expected_calibration_error < 0.05
+
+    def test_overconfident_scores_flagged(self):
+        # Scores near 1 but only 50% positives: big ECE.
+        scores = np.full(200, 0.95)
+        labels = np.array([1, 0] * 100)
+        report = calibration_report(scores, labels)
+        assert report.expected_calibration_error > 0.3
+
+    def test_brier_zero_for_perfect(self):
+        report = calibration_report([1.0, 0.0], [1, 0])
+        assert report.brier_score == 0.0
+
+    def test_bin_counts_sum(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(300)
+        labels = rng.integers(0, 2, 300)
+        report = calibration_report(scores, labels)
+        assert sum(b.count for b in report.bins) == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_report([], [])
+        with pytest.raises(ValueError):
+            calibration_report([0.5], [1, 0])
+
+    def test_render(self):
+        report = calibration_report([0.2, 0.8], [0, 1])
+        assert "ECE=" in report.render()
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_ece_bounded_property(self, data):
+        scores = [d[0] for d in data]
+        labels = [d[1] for d in data]
+        report = calibration_report(scores, labels)
+        assert 0.0 <= report.expected_calibration_error <= 1.0
+        assert 0.0 <= report.brier_score <= 1.0
+
+
+class TestTemperature:
+    def test_identity_for_calibrated(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(3000)
+        labels = (rng.random(3000) < scores).astype(int)
+        t = fit_temperature(scores, labels)
+        assert 0.6 < t < 1.7
+
+    def test_overconfidence_needs_t_above_one(self):
+        rng = np.random.default_rng(0)
+        true_p = rng.random(3000) * 0.5 + 0.25
+        labels = (rng.random(3000) < true_p).astype(int)
+        logits = np.log(true_p / (1 - true_p)) * 3.0  # sharpen
+        overconfident = 1 / (1 + np.exp(-logits))
+        t = fit_temperature(overconfident, labels)
+        assert t > 1.5
+
+    def test_apply_temperature_monotone(self):
+        scores = np.array([0.1, 0.4, 0.9])
+        rescaled = apply_temperature(scores, 2.0)
+        assert np.all(np.diff(rescaled) > 0)
+
+    def test_apply_identity(self):
+        scores = np.array([0.2, 0.7])
+        np.testing.assert_allclose(apply_temperature(scores, 1.0), scores, atol=1e-9)
+
+    def test_temperature_improves_ece(self):
+        rng = np.random.default_rng(0)
+        true_p = rng.random(4000) * 0.6 + 0.2
+        labels = (rng.random(4000) < true_p).astype(int)
+        logits = np.log(true_p / (1 - true_p)) * 2.5
+        overconfident = 1 / (1 + np.exp(-logits))
+        before = calibration_report(overconfident, labels).expected_calibration_error
+        t = fit_temperature(overconfident, labels)
+        after = calibration_report(apply_temperature(overconfident, t),
+                                   labels).expected_calibration_error
+        assert after < before

@@ -1,0 +1,100 @@
+"""Property and invariant tests for the collective-ER construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import Scale
+from repro.data.collective import (
+    COLLECTIVE_MAGELLAN, build_collective_dataset, load_collective,
+)
+from repro.data.generators import generate_source_tables
+from repro.data.magellan import MAGELLAN_DATASETS
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_collective("Walmart-Amazon", scale=Scale.ci())
+
+
+class TestSourceTables:
+    def test_anchor_table_complete(self):
+        spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+        tables, truth = generate_source_tables(spec, 30, seed=1)
+        assert len(tables["tableA"]) == 30
+        assert set(truth) == {e.uid for e in tables["tableA"]}
+
+    def test_overlap_controls_other_sources(self):
+        spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+        tables_low, _ = generate_source_tables(spec, 40, seed=1, overlap=0.2)
+        tables_high, _ = generate_source_tables(spec, 40, seed=1, overlap=0.95)
+        assert len(tables_low["tableB"]) < len(tables_high["tableB"])
+
+    def test_truth_points_into_other_tables(self):
+        spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+        tables, truth = generate_source_tables(spec, 20, seed=2)
+        b_uids = {e.uid for e in tables["tableB"]}
+        for matches in truth.values():
+            for source, uid in matches:
+                assert source == "tableB" and uid in b_uids
+
+    def test_multi_source(self):
+        spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+        sources = ("s0", "s1", "s2", "s3")
+        tables, truth = generate_source_tables(spec, 20, seed=3, sources=sources)
+        assert set(tables) == set(sources)
+        all_sources_seen = {s for m in truth.values() for s, _ in m}
+        assert all_sources_seen <= set(sources[1:])
+
+
+class TestCollectiveConstruction:
+    def test_candidate_counts_bounded_by_topn(self, dataset):
+        for query in dataset.all_queries():
+            assert len(query.candidates) <= dataset.candidate_count
+
+    def test_splits_partition_queries(self, dataset):
+        uids = [q.query.uid for q in dataset.all_queries()]
+        assert len(uids) == len(set(uids))
+
+    def test_labels_reference_truth(self, dataset):
+        # A labeled positive candidate must share the query's canonical uid.
+        for query in dataset.all_queries():
+            base = query.query.uid.split(":")[0]
+            for candidate, label in zip(query.candidates, query.labels):
+                if label == 1:
+                    assert candidate.uid.split(":")[0] == base
+
+    def test_candidates_sorted_by_similarity_first_hits(self, dataset):
+        # The first candidate should usually be the most similar one; we only
+        # require that positives are not systematically ranked last.
+        first_pos, last_pos = 0, 0
+        for query in dataset.all_queries():
+            if query.num_positives == 0 or len(query.labels) < 2:
+                continue
+            if query.labels[0] == 1:
+                first_pos += 1
+            if query.labels[-1] == 1:
+                last_pos += 1
+        assert first_pos >= last_pos
+
+    def test_deterministic_under_seed(self):
+        a = load_collective("Amazon-Google", scale=Scale.ci(), seed=9)
+        b = load_collective("Amazon-Google", scale=Scale.ci(), seed=9)
+        assert [q.query.uid for q in a.train] == [q.query.uid for q in b.train]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_collective("Beer", scale=Scale.ci())  # no public raw tables
+
+    def test_all_five_magellan_collectives_build(self):
+        for name in COLLECTIVE_MAGELLAN:
+            dataset = load_collective(name, scale=Scale.ci())
+            assert dataset.total_candidates > 0
+
+    @given(st.integers(16, 48), st.integers(2, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_build_respects_topn_property(self, num_entities, top_n):
+        spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+        dataset = build_collective_dataset(spec, num_entities, seed=4, top_n=top_n)
+        for query in dataset.all_queries():
+            assert len(query.candidates) <= top_n

@@ -1,0 +1,62 @@
+"""Tests for the scale configuration and the deterministic word pools."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import Scale, get_scale, set_scale
+from repro.data.wordlists import model_codes, pseudo_words
+
+
+class TestScale:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Scale().hidden_dim = 7
+
+    def test_presets_ordered_by_size(self):
+        ci, bench, paper = Scale.ci(), Scale.bench(), Scale.paper()
+        assert ci.hidden_dim < bench.hidden_dim < paper.hidden_dim
+        assert ci.max_pairs < bench.max_pairs
+        assert paper.max_pairs is None
+
+    def test_paper_settings_documented(self):
+        paper = Scale.paper()
+        assert paper.hidden_dim == 768
+        assert paper.max_tokens == 512
+        assert paper.epochs == 10
+        assert paper.learning_rate == 1e-5
+
+    def test_global_scale_roundtrip(self):
+        previous = get_scale()
+        try:
+            custom = Scale(hidden_dim=32)
+            set_scale(custom)
+            assert get_scale() is custom
+        finally:
+            set_scale(previous)
+
+
+class TestWordlists:
+    def test_pseudo_words_deterministic(self):
+        assert pseudo_words(10, seed=3) == pseudo_words(10, seed=3)
+
+    def test_pseudo_words_distinct(self):
+        words = pseudo_words(200, seed=1)
+        assert len(set(words)) == 200
+
+    def test_pseudo_words_pronounceable(self):
+        for word in pseudo_words(30, seed=5, syllables=3):
+            assert len(word) == 6
+            assert word.isalpha()
+
+    def test_different_seeds_different_pools(self):
+        assert pseudo_words(20, seed=1) != pseudo_words(20, seed=2)
+
+    def test_model_codes_format(self):
+        for code in model_codes(50, seed=7):
+            assert len(code) == 5
+            assert code[:2].isalpha() and code[2:].isdigit()
+
+    def test_model_codes_distinct(self):
+        codes = model_codes(300, seed=9)
+        assert len(set(codes)) == 300

@@ -1,0 +1,189 @@
+"""Unit tests for the HierGAT building blocks (context, aggregation,
+comparison, alignment)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.config import Scale
+from repro.core.aggregation import AttributeSummarizer, EntitySummarizer
+from repro.core.alignment import EntityAlignment
+from repro.core.comparison import AttributeComparator, COMPARISON_MODES, EntityComparator
+from repro.core.context import ContextFlags, ContextualEmbedder
+from repro.lm.registry import load_language_model
+from repro.text.vocab import Vocabulary
+
+DIM_SCALE = Scale(hidden_dim=16, num_layers=1, num_heads=2, max_tokens=16, seed=0)
+
+
+@pytest.fixture
+def lm():
+    corpus = [["acme", "laser", "printer"], ["zeta", "watch", "gold"]] * 3
+    vocab = Vocabulary.from_corpus(corpus, num_oov_buckets=8)
+    return load_language_model("roberta", vocab, corpus=corpus,
+                               scale=DIM_SCALE, rng=np.random.default_rng(0))
+
+
+def batch_ids(lm, texts):
+    from repro.matchers.encoding import pad_sequences
+    from repro.text.tokenizer import tokenize
+
+    sequences = [[lm.vocab.cls_id] + lm.vocab.encode(tokenize(t)) for t in texts]
+    return pad_sequences(sequences, lm.vocab.pad_id)
+
+
+class TestContextualEmbedder:
+    def test_wpc_shape_matches_input(self, lm, rng):
+        embedder = ContextualEmbedder(lm, rng=rng)
+        ids, mask = batch_ids(lm, ["acme laser printer", "zeta watch"])
+        wpc = embedder(ids, mask)
+        assert wpc.shape == (2, ids.shape[1], lm.dim)
+
+    def test_flags_disable_stages(self, lm, rng):
+        ids, mask = batch_ids(lm, ["acme laser printer"])
+        none = ContextualEmbedder(lm, ContextFlags.none(), rng=rng)
+        raw = lm.embed(ids)
+        np.testing.assert_allclose(none(ids, mask).data, raw.data)
+
+    def test_token_context_changes_output(self, lm, rng):
+        ids, mask = batch_ids(lm, ["acme laser printer"])
+        with_token = ContextualEmbedder(
+            lm, ContextFlags(token=True, attribute=False, entity=False), rng=rng)
+        assert not np.allclose(with_token(ids, mask).data, lm.embed(ids).data)
+
+    def test_gates_keep_wpc_near_raw_scale(self, lm, rng):
+        embedder = ContextualEmbedder(lm, rng=rng)
+        ids, mask = batch_ids(lm, ["acme laser printer gold watch"])
+        raw_norm = np.linalg.norm(lm.embed(ids).data, axis=-1).mean()
+        wpc_norm = np.linalg.norm(embedder(ids, mask).data, axis=-1).mean()
+        assert wpc_norm < 10 * raw_norm  # gated, not 20× blow-up
+
+    def test_same_token_different_context_differs(self, lm, rng):
+        embedder = ContextualEmbedder(lm, rng=rng)
+        ids_a, mask_a = batch_ids(lm, ["acme laser"])
+        ids_b, mask_b = batch_ids(lm, ["acme watch"])
+        wpc_a = embedder(ids_a, mask_a).data[0, 1]  # 'acme' after [CLS]
+        wpc_b = embedder(ids_b, mask_b).data[0, 1]
+        assert not np.allclose(wpc_a, wpc_b)
+
+    def test_redundant_context_needs_common_tokens(self, lm, rng):
+        embedder = ContextualEmbedder(lm, rng=rng)
+        ids, mask = batch_ids(lm, ["acme laser", "acme watch"])
+        unique = Tensor(np.random.default_rng(0).standard_normal((2, lm.dim)).astype(np.float32))
+        common = np.zeros_like(ids, dtype=bool)
+        common[:, 1] = True  # mark 'acme'
+        wpc_with = embedder(ids, mask, common_mask=common, unique_attr_context=unique)
+        wpc_without = embedder(ids, mask)
+        assert not np.allclose(wpc_with.data, wpc_without.data)
+
+
+class TestAggregation:
+    def test_summarizer_cls_pooling(self, lm, rng):
+        summarizer = AttributeSummarizer(lm.dim, num_heads=2, rng=rng)
+        ids, mask = batch_ids(lm, ["acme laser printer", "zeta watch"])
+        out = summarizer(lm.embed(ids), mask)
+        assert out.shape == (2, lm.dim)
+
+    def test_summarizer_attention_map_available(self, lm, rng):
+        summarizer = AttributeSummarizer(lm.dim, num_heads=2, rng=rng)
+        ids, mask = batch_ids(lm, ["acme laser printer"])
+        summarizer(lm.embed(ids), mask)
+        attention = summarizer.attention_map()
+        assert attention.shape == (1, ids.shape[1])
+        assert attention[0].sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_entity_summarizer_concatenates(self, rng):
+        attrs = [Tensor(np.ones((2, 4), dtype=np.float32)) for _ in range(3)]
+        out = EntitySummarizer()(attrs)
+        assert out.shape == (2, 12)
+
+    def test_entity_mean_view_fixed_width(self, rng):
+        attrs = [Tensor(np.full((2, 4), float(i), dtype=np.float32)) for i in range(3)]
+        view = EntitySummarizer.mean_view(attrs)
+        assert view.shape == (2, 4)
+        np.testing.assert_allclose(view.data, 1.0)
+
+    def test_entity_summarizer_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EntitySummarizer()([])
+
+
+class TestComparison:
+    def test_attribute_comparator_shapes(self, lm, rng):
+        comparator = AttributeComparator(lm)
+        left_ids, left_mask = batch_ids(lm, ["acme laser", "zeta watch"])
+        right_ids, right_mask = batch_ids(lm, ["acme printer", "gold watch"])
+        out = comparator(lm.embed(left_ids), left_mask, lm.embed(right_ids), right_mask)
+        assert out.shape == (2, lm.dim)
+
+    @pytest.mark.parametrize("mode", COMPARISON_MODES)
+    def test_entity_comparator_modes(self, rng, mode):
+        comparator = EntityComparator(8, mode=mode, rng=rng)
+        sims = [Tensor(np.random.default_rng(i).standard_normal((3, 8)).astype(np.float32))
+                for i in range(4)]
+        context = Tensor(np.random.default_rng(9).standard_normal((3, 16)).astype(np.float32))
+        out = comparator(sims, context)
+        assert out.shape == (3, 8)
+
+    def test_weight_average_weights_sum_to_one(self, rng):
+        comparator = EntityComparator(8, mode="weight_average", rng=rng)
+        sims = [Tensor(np.random.default_rng(i).standard_normal((2, 8)).astype(np.float32))
+                for i in range(3)]
+        context = Tensor(np.random.default_rng(9).standard_normal((2, 16)).astype(np.float32))
+        comparator(sims, context)
+        np.testing.assert_allclose(comparator.last_weights.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_view_average_is_plain_mean(self, rng):
+        comparator = EntityComparator(4, mode="view_average", rng=rng)
+        sims = [Tensor(np.full((1, 4), 2.0, dtype=np.float32)),
+                Tensor(np.full((1, 4), 4.0, dtype=np.float32))]
+        np.testing.assert_allclose(comparator(sims).data, 3.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EntityComparator(4, mode="bogus")
+
+    def test_weight_average_without_context_falls_back(self, rng):
+        comparator = EntityComparator(4, mode="weight_average", rng=rng)
+        sims = [Tensor(np.ones((2, 4), dtype=np.float32))]
+        assert comparator(sims, None).shape == (2, 4)
+
+
+class TestAlignment:
+    def test_alignment_shape_preserved(self, rng):
+        align = EntityAlignment(6, rng=rng)
+        entities = Tensor(np.random.default_rng(0).standard_normal((4, 6)).astype(np.float32))
+        assert align(entities).shape == (4, 6)
+
+    def test_single_entity_passthrough(self, rng):
+        align = EntityAlignment(6, rng=rng)
+        entities = Tensor(np.ones((1, 6), dtype=np.float32))
+        assert align(entities) is entities
+
+    def test_alignment_changes_embeddings(self, rng):
+        align = EntityAlignment(6, rng=rng)
+        entities = Tensor(np.random.default_rng(0).standard_normal((3, 6)).astype(np.float32))
+        out = align(entities)
+        assert not np.allclose(out.data, entities.data)
+
+    def test_weights_row_normalised_over_related(self, rng):
+        align = EntityAlignment(6, rng=rng)
+        entities = Tensor(np.random.default_rng(0).standard_normal((3, 6)).astype(np.float32))
+        align(entities)
+        np.testing.assert_allclose(align.last_weights.sum(axis=1), 1.0, atol=1e-5)
+        assert np.allclose(np.diag(align.last_weights), 0.0)
+
+    def test_unrelated_rows_untouched(self, rng):
+        align = EntityAlignment(4, rng=rng)
+        entities = Tensor(np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32))
+        related = np.zeros((3, 3), dtype=bool)
+        related[1, 2] = related[2, 1] = True
+        out = align(entities, related=related)
+        np.testing.assert_allclose(out.data[0], entities.data[0], atol=1e-6)
+
+    def test_gradients_flow(self, rng):
+        align = EntityAlignment(4, rng=rng)
+        entities = Tensor(np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32),
+                          requires_grad=True)
+        align(entities).sum().backward()
+        assert entities.grad is not None

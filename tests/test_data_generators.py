@@ -1,0 +1,199 @@
+"""Tests for the synthetic benchmark generators (Magellan/WDC/DI2KG/dirty)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import Scale
+from repro.data import (
+    DIRTY_DATASETS, MAGELLAN_DATASETS, WDC_DOMAINS, WDC_SIZES,
+    load_dataset, load_di2kg_tables, load_wdc, make_dirty,
+)
+from repro.data.generators import ViewCorruptor, build_universe, generate_pairs
+from repro.data.magellan import ALIASES
+from repro.data.schema import EntityPair
+from repro.text.vocab import NAN_TOKEN
+
+
+class TestMagellanRegistry:
+    def test_all_nine_datasets_present(self):
+        assert len(MAGELLAN_DATASETS) == 9
+
+    def test_attribute_counts_match_table1(self):
+        expected = {"Beer": 4, "iTunes-Amazon": 8, "Fodors-Zagats": 6,
+                    "DBLP-ACM": 4, "DBLP-Scholar": 4, "Amazon-Google": 3,
+                    "Walmart-Amazon": 5, "Abt-Buy": 3, "Company": 1}
+        for name, count in expected.items():
+            assert len(MAGELLAN_DATASETS[name].spec.attributes) == count, name
+
+    def test_dirty_variants_match_paper(self):
+        assert set(DIRTY_DATASETS) == {
+            "iTunes-Amazon", "DBLP-ACM", "DBLP-Scholar", "Walmart-Amazon",
+        }
+
+    def test_aliases_resolve(self):
+        ds = load_dataset("A-G")
+        assert ds.name == "Amazon-Google"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("Nope")
+
+    def test_dirty_on_clean_only_dataset_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("Beer", dirty=True)
+
+
+class TestGeneratedPairs:
+    def test_deterministic_under_seed(self):
+        a = load_dataset("Beer", seed=5)
+        b = load_dataset("Beer", seed=5)
+        assert [p.left.uid for p in a.pairs] == [p.left.uid for p in b.pairs]
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("Beer", seed=5)
+        b = load_dataset("Beer", seed=6)
+        assert [p.left.uid for p in a.pairs] != [p.left.uid for p in b.pairs]
+
+    def test_positive_ratio_approximates_table1(self):
+        info = MAGELLAN_DATASETS["Amazon-Google"]
+        ds = load_dataset("Amazon-Google")
+        assert abs(ds.positive_ratio - info.positive_ratio) < 0.08
+
+    def test_size_respects_scale_cap(self):
+        ds = load_dataset("DBLP-Scholar", scale=Scale(max_pairs=60))
+        assert ds.size <= 60
+
+    def test_positive_pairs_share_canonical_entity(self):
+        ds = load_dataset("Fodors-Zagats")
+        for pair in ds.pairs:
+            left_base = pair.left.uid.split(":")[0]
+            right_base = pair.right.uid.split(":")[0]
+            if pair.label == 1:
+                assert left_base == right_base
+            else:
+                assert left_base != right_base
+
+    def test_sides_come_from_distinct_sources(self):
+        ds = load_dataset("Beer")
+        assert all(p.left.source != p.right.source for p in ds.pairs)
+
+    def test_schema_consistent_across_pairs(self):
+        ds = load_dataset("Walmart-Amazon")
+        keys = ds.pairs[0].left.keys
+        assert all(p.left.keys == keys and p.right.keys == keys for p in ds.pairs)
+
+    @pytest.mark.parametrize("name", ["Beer", "Amazon-Google", "Company"])
+    def test_every_dataset_loads(self, name):
+        ds = load_dataset(name)
+        assert ds.size >= 40 and ds.num_positives >= 1
+
+
+class TestViewCorruptor:
+    def test_zero_noise_is_identity_on_tokens(self):
+        corruptor = ViewCorruptor(0.0, np.random.default_rng(0))
+        out = corruptor._corrupt_tokens(["alpha", "beta", "gamma"])
+        assert out == ["alpha", "beta", "gamma"]
+
+    def test_noise_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ViewCorruptor(1.5, np.random.default_rng(0))
+
+    def test_high_noise_changes_tokens(self):
+        corruptor = ViewCorruptor(1.0, np.random.default_rng(0))
+        tokens = [f"token{i}" for i in range(30)]
+        assert corruptor._corrupt_tokens(list(tokens)) != tokens
+
+    def test_numeric_jitter_stays_numeric(self):
+        corruptor = ViewCorruptor(1.0, np.random.default_rng(0))
+        out = corruptor._jitter_number(["19.99"])
+        float(out[0])  # must parse
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_corruption_never_crashes(self, noise):
+        corruptor = ViewCorruptor(noise, np.random.default_rng(0))
+        corruptor._corrupt_tokens(["a", "bb", "ccc", "dddd", "eeeee"])
+
+
+class TestDirty:
+    def test_injection_moves_values(self):
+        ds = load_dataset("Walmart-Amazon", dirty=True)
+        clean = load_dataset("Walmart-Amazon", dirty=False)
+        # At least some entities must differ from the clean version.
+        dirty_texts = {p.left.text() for p in ds.pairs}
+        clean_texts = {p.left.text() for p in clean.pairs}
+        assert dirty_texts != clean_texts
+
+    def test_dirty_preserves_labels_and_size(self):
+        clean = load_dataset("DBLP-ACM")
+        dirty = make_dirty(clean.pairs, seed=1)
+        assert len(dirty) == len(clean.pairs)
+        assert [p.label for p in dirty] == [p.label for p in clean.pairs]
+
+    def test_injection_conserves_tokens(self):
+        clean = load_dataset("DBLP-ACM")
+        dirty = make_dirty(clean.pairs, seed=1, injection_prob=1.0)
+        for c, d in zip(clean.pairs[:20], dirty[:20]):
+            c_tokens = sorted(c.left.text().split())
+            d_tokens = sorted(t for t in d.left.text().split())
+            assert c_tokens == d_tokens  # values moved, not lost
+
+
+class TestWDC:
+    def test_domains_and_sizes(self):
+        assert set(WDC_DOMAINS) == {"computer", "camera", "watch", "shoe"}
+        assert WDC_SIZES == ("small", "medium", "large", "xlarge")
+
+    def test_title_only_schema(self):
+        ds = load_wdc("computer", "small")
+        assert ds.num_attributes == 1
+        assert ds.pairs[0].left.keys == ("title",)
+
+    def test_test_set_fixed_across_sizes(self):
+        small = load_wdc("camera", "small")
+        large = load_wdc("camera", "large")
+        assert [p.left.uid for p in small.split.test] == [p.left.uid for p in large.split.test]
+
+    def test_training_size_ladder_monotone(self):
+        sizes = [len(load_wdc("watch", s).split.train) for s in WDC_SIZES]
+        assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+    def test_all_domain_pools_four_domains(self):
+        ds = load_wdc("all", "small")
+        assert ds.domain == "all"
+        assert ds.size > load_wdc("computer", "small").size
+
+    def test_unknown_domain_or_size(self):
+        with pytest.raises(KeyError):
+            load_wdc("boat", "small")
+        with pytest.raises(KeyError):
+            load_wdc("computer", "gigantic")
+
+
+class TestCollectiveAndDI2KG:
+    def test_di2kg_builds_both_categories(self):
+        for category in ("camera", "monitor"):
+            cd = load_di2kg_tables(category)
+            assert len(cd.all_queries()) > 5
+            assert all(len(q.candidates) == len(q.labels) for q in cd.all_queries())
+
+    def test_split_before_blocking_query_disjointness(self):
+        cd = load_di2kg_tables("camera")
+        train_uids = {q.query.uid for q in cd.train}
+        test_uids = {q.query.uid for q in cd.test}
+        assert not (train_uids & test_uids)
+
+    def test_most_queries_have_a_match_in_candidates(self):
+        cd = load_di2kg_tables("camera")
+        queries = cd.all_queries()
+        hit = sum(1 for q in queries if q.num_positives > 0)
+        assert hit / len(queries) > 0.5
+
+    def test_collective_pairs_flatten(self):
+        from repro.data.collective import load_collective
+
+        cd = load_collective("Amazon-Google")
+        pairs = cd.pairs("train")
+        assert all(isinstance(p, EntityPair) for p in pairs)
+        assert len(pairs) == sum(len(q.candidates) for q in cd.train)

@@ -1,0 +1,126 @@
+"""Tests for CSV import/export (user-supplied data path)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    dataset_from_csv, entities_from_csv, entities_to_csv,
+    labeled_pairs_from_csv, predictions_to_csv,
+)
+from repro.data.schema import Entity, EntityPair
+
+
+@pytest.fixture
+def csv_triple(tmp_path):
+    table_a = tmp_path / "tableA.csv"
+    table_a.write_text(
+        "id,title,price\n"
+        "a1,acme laser printer,199\n"
+        "a2,zeta quartz watch,59\n"
+    )
+    table_b = tmp_path / "tableB.csv"
+    table_b.write_text(
+        "id,title,price\n"
+        "b1,acme printer laser,189\n"
+        "b2,gamma running shoe,79\n"
+        "b3,zeta watch quartz,61\n"
+    )
+    pairs = tmp_path / "matches.csv"
+    pairs.write_text(
+        "ltable_id,rtable_id,label\n"
+        "a1,b1,1\n"
+        "a1,b2,0\n"
+        "a2,b3,1\n"
+        "a2,b2,0\n"
+        "a1,b3,0\n"
+    )
+    return table_a, table_b, pairs
+
+
+class TestEntityCSV:
+    def test_read_entities(self, csv_triple):
+        entities = entities_from_csv(csv_triple[0])
+        assert len(entities) == 2
+        assert entities[0].uid == "a1"
+        assert entities[0].value("title") == "acme laser printer"
+
+    def test_missing_id_column(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("title\nfoo\n")
+        with pytest.raises(ValueError):
+            entities_from_csv(bad)
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("id,title\n")
+        with pytest.raises(ValueError):
+            entities_from_csv(empty)
+
+    def test_roundtrip(self, csv_triple, tmp_path):
+        entities = entities_from_csv(csv_triple[0])
+        out = entities_to_csv(entities, tmp_path / "out.csv")
+        again = entities_from_csv(out)
+        assert [e.uid for e in again] == [e.uid for e in entities]
+        assert again[0].attributes == entities[0].attributes
+
+    def test_empty_values_become_nan(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("id,title,price\nx1,widget,\n")
+        entity = entities_from_csv(f)[0]
+        assert entity.value("price") == "nan"
+
+
+class TestPairCSV:
+    def test_read_pairs(self, csv_triple):
+        a = entities_from_csv(csv_triple[0])
+        b = entities_from_csv(csv_triple[1])
+        pairs = labeled_pairs_from_csv(csv_triple[2], a, b)
+        assert len(pairs) == 5
+        assert sum(p.label for p in pairs) == 2
+
+    def test_unknown_id_raises(self, csv_triple, tmp_path):
+        a = entities_from_csv(csv_triple[0])
+        b = entities_from_csv(csv_triple[1])
+        bad = tmp_path / "bad_pairs.csv"
+        bad.write_text("ltable_id,rtable_id,label\nmissing,b1,1\n")
+        with pytest.raises(KeyError):
+            labeled_pairs_from_csv(bad, a, b)
+
+    def test_missing_columns_raise(self, csv_triple, tmp_path):
+        a = entities_from_csv(csv_triple[0])
+        b = entities_from_csv(csv_triple[1])
+        bad = tmp_path / "bad_cols.csv"
+        bad.write_text("x,y\n1,2\n")
+        with pytest.raises(ValueError):
+            labeled_pairs_from_csv(bad, a, b)
+
+
+class TestDatasetAssembly:
+    def test_dataset_from_csv(self, csv_triple):
+        dataset = dataset_from_csv(*csv_triple, name="demo")
+        assert dataset.name == "demo"
+        assert dataset.size == 5
+        assert dataset.num_attributes == 2
+        assert sum(dataset.split.sizes) == 5
+
+    def test_trainable_end_to_end(self, csv_triple):
+        from repro.matchers.magellan import MagellanMatcher
+
+        dataset = dataset_from_csv(*csv_triple)
+        matcher = MagellanMatcher()
+        matcher.fit(dataset)
+        assert matcher.predict(dataset.split.test).shape == (len(dataset.split.test),)
+
+
+class TestPredictionsCSV:
+    def test_written_format(self, csv_triple, tmp_path):
+        a = entities_from_csv(csv_triple[0])
+        b = entities_from_csv(csv_triple[1])
+        pairs = labeled_pairs_from_csv(csv_triple[2], a, b)
+        out = predictions_to_csv(pairs, [0.9, 0.1, 0.8, 0.2, 0.3],
+                                 tmp_path / "preds.csv", threshold=0.5)
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "ltable_id,rtable_id,score,prediction"
+        assert lines[1].startswith("a1,b1,0.9")
+        assert lines[1].endswith(",1")
+        assert lines[2].endswith(",0")

@@ -1,0 +1,122 @@
+"""Tests for the entity/pair/dataset schema and splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import Entity, EntityPair, PairDataset, Split, split_pairs
+from repro.text.vocab import NAN_TOKEN
+
+
+def entity(uid="e", **attrs):
+    return Entity.from_dict(uid, attrs or {"title": "widget"})
+
+
+class TestEntity:
+    def test_missing_values_become_nan(self):
+        e = Entity.from_dict("e", {"title": "x", "price": ""})
+        assert e.value("price") == NAN_TOKEN
+
+    def test_value_and_get(self):
+        e = entity(title="x")
+        assert e.value("title") == "x"
+        assert e.get("missing", "dflt") == "dflt"
+        with pytest.raises(KeyError):
+            e.value("missing")
+
+    def test_text_skips_nan(self):
+        e = Entity.from_dict("e", {"a": "hello", "b": None})
+        assert e.text() == "hello"
+
+    def test_keys_ordered(self):
+        e = Entity.from_dict("e", {"z": "1", "a": "2"})
+        assert e.keys == ("z", "a")
+
+    def test_replace_attributes_preserves_identity(self):
+        e = entity()
+        e2 = e.replace_attributes([("title", "other")])
+        assert e2.uid == e.uid and e2.value("title") == "other"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            entity().uid = "other"
+
+    def test_iteration(self):
+        assert list(entity(title="x")) == [("title", "x")]
+
+
+class TestPairsAndSplit:
+    def make_pairs(self, n=50, pos_ratio=0.3):
+        rng = np.random.default_rng(0)
+        pairs = []
+        for i in range(n):
+            label = 1 if i < n * pos_ratio else 0
+            pairs.append(EntityPair(entity(f"l{i}"), entity(f"r{i}"), label))
+        return pairs
+
+    def test_swapped(self):
+        p = EntityPair(entity("a"), entity("b"), 1)
+        s = p.swapped()
+        assert s.left.uid == "b" and s.label == 1
+
+    def test_split_ratios(self):
+        split = split_pairs(self.make_pairs(100), rng=np.random.default_rng(1))
+        train, valid, test = split.sizes
+        assert train + valid + test == 100
+        assert abs(train - 60) <= 2 and abs(valid - 20) <= 2
+
+    def test_split_stratified_preserves_positive_ratio(self):
+        pairs = self.make_pairs(100, pos_ratio=0.2)
+        split = split_pairs(pairs, rng=np.random.default_rng(1))
+        for part in (split.train, split.valid, split.test):
+            ratio = sum(p.label for p in part) / len(part)
+            assert 0.1 <= ratio <= 0.3
+
+    def test_split_deterministic_under_seed(self):
+        pairs = self.make_pairs(60)
+        a = split_pairs(pairs, rng=np.random.default_rng(7))
+        b = split_pairs(pairs, rng=np.random.default_rng(7))
+        assert [p.left.uid for p in a.train] == [p.left.uid for p in b.train]
+
+    def test_split_partition_no_overlap_no_loss(self):
+        pairs = self.make_pairs(80)
+        split = split_pairs(pairs, rng=np.random.default_rng(3))
+        ids = lambda part: {(p.left.uid, p.right.uid) for p in part}
+        assert not (ids(split.train) & ids(split.test))
+        assert len(ids(split.train) | ids(split.valid) | ids(split.test)) == 80
+
+    def test_empty_split_rejected(self):
+        with pytest.raises(ValueError):
+            Split(train=[], valid=[], test=self.make_pairs(5))
+
+    @given(st.integers(min_value=20, max_value=200),
+           st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_split_total_preserved_property(self, n, ratio):
+        pairs = self.make_pairs(n, pos_ratio=ratio)
+        split = split_pairs(pairs, rng=np.random.default_rng(0))
+        assert sum(split.sizes) == n
+        total_pos = sum(p.label for p in pairs)
+        split_pos = sum(p.label for p in split.all_pairs())
+        assert total_pos == split_pos
+
+
+class TestPairDataset:
+    def test_summary_and_stats(self):
+        pairs = [EntityPair(entity("a"), entity("b"), 1),
+                 EntityPair(entity("c"), entity("d"), 0),
+                 EntityPair(entity("e"), entity("f"), 0)]
+        split = Split(train=pairs[:1], valid=pairs[1:2], test=pairs[2:])
+        ds = PairDataset(name="X", domain="d", pairs=pairs, split=split, num_attributes=1)
+        assert ds.num_positives == 1
+        assert ds.positive_ratio == pytest.approx(1 / 3)
+        assert "X" in ds.summary()
+
+    def test_corpus_tokens_cover_both_sides(self):
+        pairs = [EntityPair(entity("a", title="left words"),
+                            entity("b", title="right words"), 1)]
+        split = Split(train=pairs, valid=[], test=pairs)
+        ds = PairDataset(name="X", domain="d", pairs=pairs, split=split, num_attributes=1)
+        corpus = ds.corpus_tokens()
+        flat = [t for tokens in corpus for t in tokens]
+        assert "left" in flat and "right" in flat

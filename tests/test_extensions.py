@@ -1,0 +1,166 @@
+"""Tests for the extension modules: DeepER, augmentation, blocker evaluation,
+explanations, and the LSTM substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.config import Scale, set_scale
+from repro.data import load_dataset
+from repro.data.augmentation import (
+    AUGMENT_OPERATORS, augment_entity, augment_pair, augment_training_set,
+)
+from repro.data.schema import Entity, EntityPair
+from repro.blocking.evaluation import BlockerQuality, evaluate_blocker, tfidf_candidates
+from repro.nn import LSTM, LSTMCell
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    set_scale(Scale.ci())
+    return load_dataset("Fodors-Zagats", scale=Scale.ci())
+
+
+class TestLSTM:
+    def test_shapes(self, rng):
+        lstm = LSTM(6, 5, rng=rng)
+        x = Tensor(rng.standard_normal((3, 4, 6)).astype(np.float32))
+        out, final = lstm(x)
+        assert out.shape == (3, 4, 5) and final.shape == (3, 5)
+
+    def test_mask_freezes_state(self, rng):
+        lstm = LSTM(4, 3, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 4)).astype(np.float32))
+        mask = np.array([[True, True, False, False]])
+        out, final = lstm(x, pad_mask=mask)
+        np.testing.assert_allclose(out.data[:, 1], out.data[:, 3], atol=1e-6)
+
+    def test_cell_gates_bounded_state(self, rng):
+        cell = LSTMCell(4, 3, rng=rng)
+        h = Tensor(np.zeros((2, 3), dtype=np.float32))
+        c = Tensor(np.zeros((2, 3), dtype=np.float32))
+        x = Tensor((rng.standard_normal((2, 4)) * 100).astype(np.float32))
+        h_new, _ = cell(x, (h, c))
+        assert np.all(np.abs(h_new.data) <= 1.0)  # tanh-bounded
+
+    def test_gradients_flow(self, rng):
+        lstm = LSTM(4, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32), requires_grad=True)
+        _, final = lstm(x)
+        final.sum().backward()
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestDeepER:
+    @pytest.mark.parametrize("composition", ["lstm", "average"])
+    def test_fit_predict(self, dataset, composition):
+        from repro.matchers import DeepERModel
+
+        matcher = DeepERModel(composition=composition)
+        matcher.fit(dataset)
+        predictions = matcher.predict(dataset.split.test)
+        assert predictions.shape == (len(dataset.split.test),)
+
+    def test_invalid_composition(self, dataset):
+        from repro.matchers import DeepERModel
+
+        with pytest.raises(ValueError):
+            DeepERModel(composition="bogus").fit(dataset)
+
+
+class TestAugmentation:
+    def entity(self):
+        return Entity.from_dict("e", {"title": "acme laser printer pro",
+                                      "price": "199"})
+
+    def test_del_removes_tokens(self):
+        rng = np.random.default_rng(0)
+        out = augment_entity(self.entity(), "del", rng)
+        assert len(out.text().split()) <= len(self.entity().text().split())
+
+    def test_attr_del_nans_one_attribute(self):
+        rng = np.random.default_rng(0)
+        out = augment_entity(self.entity(), "attr_del", rng)
+        assert "nan" in [v for _, v in out.attributes]
+
+    def test_attr_shuffle_preserves_pairs(self):
+        rng = np.random.default_rng(1)
+        out = augment_entity(self.entity(), "attr_shuffle", rng)
+        assert sorted(out.attributes) == sorted(self.entity().attributes)
+
+    def test_swap_exchanges_sides(self):
+        pair = EntityPair(Entity.from_dict("a", {"t": "x"}),
+                          Entity.from_dict("b", {"t": "y"}), 1)
+        out = augment_pair(pair, op="swap")
+        assert out.left.uid == "b" and out.label == 1
+
+    def test_unknown_operator(self):
+        pair = EntityPair(self.entity(), self.entity(), 1)
+        with pytest.raises(ValueError):
+            augment_pair(pair, op="nope")
+
+    def test_training_set_growth_and_label_preservation(self, dataset):
+        augmented = augment_training_set(dataset.split.train, factor=1.0, seed=1)
+        assert len(augmented) == 2 * len(dataset.split.train)
+        original_pos = sum(p.label for p in dataset.split.train)
+        # Augmentation is label-preserving: positives roughly double.
+        assert sum(p.label for p in augmented) >= original_pos
+
+    @given(st.sampled_from(AUGMENT_OPERATORS), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_augment_never_crashes_property(self, op, seed):
+        rng = np.random.default_rng(seed)
+        pair = EntityPair(self.entity(), self.entity(), 1)
+        out = augment_pair(pair, op=op, rng=rng)
+        assert out.label == 1
+        assert out.left.attributes and out.right.attributes
+
+
+class TestBlockerEvaluation:
+    def test_quality_metrics(self):
+        quality = evaluate_blocker(
+            candidates=[(0, 0), (1, 1), (2, 2)],
+            true_matches=[(0, 0), (3, 3)],
+            table_sizes=(4, 4),
+        )
+        assert quality.reduction_ratio == pytest.approx(1 - 3 / 16)
+        assert quality.pairs_completeness == pytest.approx(0.5)
+        assert 0 < quality.harmonic_mean < 1
+
+    def test_no_truth_means_complete(self):
+        quality = evaluate_blocker([(0, 0)], [], (2, 2))
+        assert quality.pairs_completeness == 1.0
+
+    def test_str(self):
+        quality = evaluate_blocker([(0, 0)], [(0, 0)], (2, 2))
+        assert "RR=" in str(quality)
+
+    def test_tfidf_candidates_shape(self, dataset):
+        table_a = [p.left for p in dataset.split.test[:5]]
+        table_b = [p.right for p in dataset.split.test[:5]]
+        candidates = tfidf_candidates(table_a, table_b, top_n=2)
+        assert len(candidates) == 5 * 2
+        assert all(0 <= i < 5 and 0 <= j < 5 for i, j in candidates)
+
+
+class TestExplain:
+    def test_explanation_structure(self, dataset):
+        from repro.core import HierGAT, explain
+
+        matcher = HierGAT()
+        matcher.fit(dataset)
+        explanation = explain(matcher, dataset.split.test[0])
+        assert explanation.prediction in ("match", "non-match")
+        assert 0.0 <= explanation.score <= 1.0
+        assert len(explanation.attributes) == matcher._num_attributes
+        total = sum(c.weight for c in explanation.attributes)
+        assert total == pytest.approx(1.0, abs=1e-3)
+        rendered = explanation.render()
+        assert "attribute contributions" in rendered
+
+    def test_unfitted_raises(self, dataset):
+        from repro.core import HierGAT, explain
+
+        with pytest.raises(RuntimeError):
+            explain(HierGAT(), dataset.split.test[0])

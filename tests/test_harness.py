@@ -1,0 +1,139 @@
+"""Smoke tests for the experiment harness (tiny subsets at CI scale)."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS
+from repro.harness.collective import (
+    collective_as_pairdataset, load_collective_dataset,
+    run_table5_table6_statistics, run_table9_context_ablation,
+    run_table10_multiview, run_table11_components,
+)
+from repro.harness.pairwise import run_figure11_training_time, run_table4_magellan
+from repro.harness.tables import TableResult, fmt, numeric
+from repro.config import Scale
+
+
+class TestTableResult:
+    def make(self):
+        return TableResult(
+            experiment="T", title="demo",
+            headers=["Dataset", "A", "B"],
+            rows=[["x", "1.0", "2.0"], ["y", "-", "4.0"]],
+            notes=["a note"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "demo" in text and "Dataset" in text and "note:" in text
+
+    def test_cell_lookup(self):
+        assert self.make().cell("x", "B") == "2.0"
+        with pytest.raises(KeyError):
+            self.make().cell("zz", "B")
+        with pytest.raises(KeyError):
+            self.make().cell("x", "ZZ")
+
+    def test_column_and_numeric(self):
+        table = self.make()
+        assert table.column("A") == ["1.0", "-"]
+        assert numeric(table.column("A")) == [1.0]
+
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(93.333) == "93.3"
+        assert fmt(12.0, 0) == "12"
+
+
+class TestRegistry:
+    def test_all_eleven_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5_6", "table7",
+            "table8", "table9", "table10", "table11",
+            "figure9", "figure10", "figure11",
+        }
+
+    def test_runners_are_callable(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+
+class TestRunnersSmoke:
+    """Each runner executes end-to-end on a minimal subset."""
+
+    def test_table4_subset(self):
+        result = run_table4_magellan(datasets=("Fodors-Zagats",),
+                                     models=("Magellan",), include_dirty=False)
+        assert result.rows and result.headers[0] == "Dataset"
+        value = float(result.cell("Fodors-Zagats", "Magellan"))
+        assert 0.0 <= value <= 100.0
+
+    def test_table1_lists_all_datasets(self):
+        from repro.harness import run_table1_dataset_stats
+
+        result = run_table1_dataset_stats()
+        assert len(result.rows) == 9
+        # paper values present verbatim
+        assert result.cell("Amazon-Google", "Size(paper)") == "11460"
+
+    def test_table2_ladder_monotone(self):
+        from repro.harness import run_table2_wdc_sizes
+        result = run_table2_wdc_sizes()
+        assert len(result.rows) == 5  # 4 domains + All
+        for row in result.rows:
+            scaled = [int(cell.split("/")[1]) for cell in row[1:]]
+            assert scaled == sorted(scaled)
+
+    def test_table5_6_statistics(self):
+        result = run_table5_table6_statistics()
+        assert len(result.rows) == 7  # 5 Magellan + 2 DI2KG
+
+    def test_figure11_subset(self):
+        result = run_figure11_training_time(datasets=("Fodors-Zagats",),
+                                            models=("DM",))
+        assert float(result.cell("Fodors-Zagats", "DM")) > 0
+
+    def test_collective_flattening_consistent(self):
+        dataset = load_collective_dataset("Amazon-Google", Scale.ci())
+        flat = collective_as_pairdataset(dataset)
+        assert len(flat.split.train) == sum(len(q.candidates) for q in dataset.train)
+        assert flat.name == dataset.name
+
+    def test_table10_runs_all_variants(self):
+        result = run_table10_multiview(datasets=("Amazon-Google",))
+        assert [row[0] for row in result.rows] == [
+            "View Average", "Shared Space Learn", "Weight Average",
+        ]
+
+    def test_table11_runs_all_variants(self):
+        result = run_table11_components(datasets=("Amazon-Google",))
+        assert [row[0] for row in result.rows] == ["HG+", "Non-Sum", "Non-Align"]
+
+    def test_table9_runs_all_variants(self):
+        result = run_table9_context_ablation(datasets=("Amazon-Google",))
+        assert len(result.rows) == 4
+
+
+class TestSweeps:
+    def test_sweep_grid_runs_all_combinations(self):
+        from repro.data import load_dataset
+        from repro.harness.sweeps import sweep_matcher
+        from repro.matchers.magellan import MagellanMatcher
+
+        dataset = load_dataset("Beer", scale=Scale.ci())
+        result = sweep_matcher(
+            lambda scale: MagellanMatcher(),
+            dataset,
+            grid={"epochs": [1, 2], "batch_size": [8]},
+            scale=Scale.ci(),
+        )
+        assert len(result.rows) == 2
+        assert any("selected on validation" in n for n in result.notes)
+
+    def test_sweep_rejects_unknown_field(self):
+        from repro.data import load_dataset
+        from repro.harness.sweeps import sweep_matcher
+        from repro.matchers.magellan import MagellanMatcher
+
+        dataset = load_dataset("Beer", scale=Scale.ci())
+        with pytest.raises(KeyError):
+            sweep_matcher(lambda s: MagellanMatcher(), dataset,
+                          grid={"bogus": [1]}, scale=Scale.ci())

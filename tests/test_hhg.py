@@ -1,0 +1,137 @@
+"""Tests for the Hierarchical Heterogeneous Graph (Section 2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hhg import HHG
+from repro.data.schema import Entity
+
+
+def entity(uid, **attrs):
+    return Entity.from_dict(uid, attrs)
+
+
+@pytest.fixture
+def figure4_graph():
+    """Reproduce the Figure 4 example: shared 'framework' token, two 'desc' keys."""
+    e1 = entity("e1", title="spark framework", desc="big data framework")
+    e2 = entity("e2", title="adobe spark", desc="photo framework")
+    return HHG([e1, e2])
+
+
+class TestConstruction:
+    def test_token_nodes_deduplicated(self, figure4_graph):
+        # 'framework' appears in 3 attributes but is ONE node (Section 2.2).
+        assert figure4_graph.tokens.count("framework") == 1
+
+    def test_attribute_keys_not_merged(self, figure4_graph):
+        # Two 'desc' attribute nodes, one per entity.
+        assert len(figure4_graph.attributes_with_key("desc")) == 2
+
+    def test_counts(self, figure4_graph):
+        assert figure4_graph.num_entities == 2
+        assert figure4_graph.num_attributes == 4
+        # distinct tokens: spark framework big data adobe photo
+        assert figure4_graph.num_tokens == 6
+
+    def test_word_order_preserved_with_repeats(self):
+        g = HHG([entity("e", title="alpha beta alpha")])
+        sequence = g.attributes[0].token_sequence
+        assert [g.tokens[i] for i in sequence] == ["alpha", "beta", "alpha"]
+        assert len(g.attributes[0].token_set) == 2
+
+    def test_empty_entities_rejected(self):
+        with pytest.raises(ValueError):
+            HHG([])
+
+    def test_max_value_tokens_truncates(self):
+        g = HHG([entity("e", title="a b c d e")], max_value_tokens=2)
+        assert len(g.attributes[0].token_sequence) == 2
+
+    def test_repr(self, figure4_graph):
+        assert "tokens=6" in repr(figure4_graph)
+
+
+class TestStructureQueries:
+    def test_attributes_of_entity(self, figure4_graph):
+        attrs = figure4_graph.attributes_of(0)
+        assert [a.key for a in attrs] == ["title", "desc"]
+
+    def test_unique_keys_order(self, figure4_graph):
+        assert figure4_graph.unique_keys() == ["title", "desc"]
+
+    def test_token_entity_degree(self, figure4_graph):
+        degree = figure4_graph.token_entity_degree()
+        spark = figure4_graph.token_index("spark")
+        adobe = figure4_graph.token_index("adobe")
+        assert degree[spark] == 2  # both entities
+        assert degree[adobe] == 1
+
+    def test_common_tokens(self, figure4_graph):
+        common = figure4_graph.common_tokens()
+        names = {figure4_graph.tokens[i] for i in common}
+        assert names == {"spark", "framework"}
+
+    def test_common_tokens_of_key(self, figure4_graph):
+        common = figure4_graph.common_tokens_of_key("desc")
+        names = {figure4_graph.tokens[i] for i in common}
+        assert names == {"framework"}  # 'spark' never appears under desc
+
+
+class TestAdjacency:
+    def test_dense_adjacency_symmetric(self, figure4_graph):
+        adj = figure4_graph.dense_adjacency()
+        np.testing.assert_array_equal(adj, adj.T)
+
+    def test_dense_adjacency_layers_connected_correctly(self, figure4_graph):
+        g = figure4_graph
+        adj = g.dense_adjacency()
+        nt, na = g.num_tokens, g.num_attributes
+        # token-token and entity-entity blocks are empty by default
+        assert not adj[:nt, :nt].any()
+        assert not adj[nt + na:, nt + na:].any()
+        # every attribute connects to its entity
+        for attr in g.attributes:
+            assert adj[nt + attr.index, nt + na + attr.entity_index]
+
+    def test_entity_edges_added(self, figure4_graph):
+        adj = figure4_graph.dense_adjacency(entity_edges=[(0, 1)])
+        base = figure4_graph.num_tokens + figure4_graph.num_attributes
+        assert adj[base, base + 1] and adj[base + 1, base]
+
+    def test_membership_matrices_shapes(self, figure4_graph):
+        g = figure4_graph
+        assert g.token_attribute_adjacency().shape == (g.num_attributes, g.num_tokens)
+        assert g.attribute_entity_adjacency().shape == (g.num_entities, g.num_attributes)
+
+    def test_token_attribute_membership(self, figure4_graph):
+        g = figure4_graph
+        ta = g.token_attribute_adjacency()
+        framework = g.token_index("framework")
+        # framework appears in 3 of the 4 attributes
+        assert ta[:, framework].sum() == 3
+
+
+@given(st.lists(
+    st.dictionaries(
+        keys=st.sampled_from(["title", "desc", "brand"]),
+        values=st.text(alphabet="abcde ", min_size=1, max_size=12),
+        min_size=1, max_size=3,
+    ),
+    min_size=1, max_size=4,
+))
+@settings(max_examples=40, deadline=None)
+def test_hhg_invariants_property(dicts):
+    entities = [Entity.from_dict(f"e{i}", d) for i, d in enumerate(dicts)]
+    g = HHG(entities)
+    # every attribute's entity index is valid and registered
+    for attr in g.attributes:
+        assert attr.index in g.entities[attr.entity_index].attribute_indices
+    # token sequences reference valid token nodes
+    for attr in g.attributes:
+        assert all(0 <= t < g.num_tokens for t in attr.token_sequence)
+    # entity degrees bounded by number of entities
+    assert g.token_entity_degree().max(initial=0) <= g.num_entities
+    # tokens are unique
+    assert len(set(g.tokens)) == len(g.tokens)

@@ -1,0 +1,134 @@
+"""Integration tests for HierGAT / HierGAT+ at CI scale."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import Scale
+from repro.core import ContextFlags, HierGAT, HierGATConfig, HierGATPlus
+from repro.core.attention_viz import attention_report
+from repro.core.hiergat import _common_token_masks
+from repro.data import load_dataset
+from repro.data.collective import CollectiveQuery, load_collective
+from repro.data.schema import Entity
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.config import set_scale
+
+    set_scale(Scale.ci())
+    return load_dataset("Fodors-Zagats", scale=Scale.ci())
+
+
+@pytest.fixture(scope="module")
+def collective():
+    from repro.config import set_scale
+
+    set_scale(Scale.ci())
+    return load_collective("Amazon-Google", scale=Scale.ci())
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    matcher = HierGAT()
+    matcher.fit(dataset)
+    return matcher
+
+
+class TestHierGATPairwise:
+    def test_fit_produces_history(self, fitted):
+        assert len(fitted.train_result.losses) == Scale.ci().epochs
+        assert all(np.isfinite(l) for l in fitted.train_result.losses)
+
+    def test_predictions_binary(self, fitted, dataset):
+        predictions = fitted.predict(dataset.split.test)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_scores_deterministic_at_eval(self, fitted, dataset):
+        a = fitted.scores(dataset.split.test[:4])
+        b = fitted.scores(dataset.split.test[:4])
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_attention_report(self, fitted, dataset):
+        reports = attention_report(fitted, dataset.split.test[:2])
+        assert len(reports) == 2
+        for report in reports:
+            assert report.token_weights  # non-empty
+            total = sum(w for _, w in report.attribute_weights)
+            assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_unfitted_raises(self, dataset):
+        with pytest.raises(RuntimeError):
+            HierGAT().scores(dataset.split.test)
+
+
+class TestHierGATConfigs:
+    @pytest.mark.parametrize("mode", ["view_average", "shared_space", "weight_average"])
+    def test_comparison_modes_trainable(self, dataset, mode):
+        config = HierGATConfig(comparison_mode=mode)
+        matcher = HierGAT(config=config)
+        matcher.fit(dataset)
+        assert 0.0 <= matcher.test_f1(dataset) <= 100.0
+
+    def test_non_context_variant(self, dataset):
+        config = HierGATConfig(context=ContextFlags.none())
+        matcher = HierGAT(config=config)
+        matcher.fit(dataset)
+        assert 0.0 <= matcher.test_f1(dataset) <= 100.0
+
+
+class TestHierGATPlus:
+    def test_fit_and_collective_eval(self, collective):
+        matcher = HierGATPlus()
+        matcher.fit(collective)
+        f1 = matcher.test_f1_collective(collective)
+        assert 0.0 <= f1 <= 100.0
+
+    def test_group_scores_align_with_candidates(self, collective):
+        matcher = HierGATPlus()
+        matcher.fit(collective)
+        group = collective.test[0]
+        scores = matcher._group_scores(group)
+        assert scores.shape == (len(group.candidates),)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_pairwise_interface_on_plus(self, collective):
+        matcher = HierGATPlus()
+        matcher.fit(collective)
+        pairs = collective.pairs("test")[:4]
+        assert matcher.predict(pairs).shape == (4,)
+
+    def test_ablation_flags_reach_forward(self, collective):
+        config = HierGATConfig(use_alignment=False, use_entity_summarization=False,
+                               context=ContextFlags(token=True, attribute=True, entity=False))
+        matcher = HierGATPlus(config=config)
+        matcher.fit(collective)
+        assert matcher._network.config.use_alignment is False
+
+
+class TestCommonTokenMasks:
+    def test_shared_tokens_flagged(self):
+        ids_a = np.array([[1, 10, 11], [1, 10, 12]])  # token 10 shared by 2 rows
+        masks = _common_token_masks([ids_a], pad_id=0, special_ids=[0, 1])
+        np.testing.assert_array_equal(masks[0][:, 1], [True, True])
+        np.testing.assert_array_equal(masks[0][:, 2], [False, False])
+
+    def test_specials_never_common(self):
+        ids = np.array([[1, 5], [1, 6]])
+        masks = _common_token_masks([ids], pad_id=0, special_ids=[0, 1])
+        assert not masks[0][:, 0].any()
+
+    def test_cross_slot_sharing_counts(self):
+        # token 20 appears in slot 0 of row 0 and slot 1 of row 1.
+        slot0 = np.array([[20, 21], [22, 23]])
+        slot1 = np.array([[24, 25], [20, 26]])
+        masks = _common_token_masks([slot0, slot1], pad_id=0, special_ids=[0])
+        assert masks[0][0, 0] and masks[1][1, 0]
+
+
+def test_collective_query_validation():
+    entity = Entity.from_dict("q", {"t": "x"})
+    with pytest.raises(ValueError):
+        CollectiveQuery(query=entity, candidates=[entity], labels=[1, 0])

@@ -1,0 +1,142 @@
+"""Tests for evaluation metrics and the shared training loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.config import Scale
+from repro.core.metrics import PRF1, best_threshold_f1, f1_score, precision_recall_f1
+from repro.core.trainer import (
+    TrainConfig, evaluate_forward, predict_forward, train_pair_classifier,
+)
+from repro.data.schema import Entity, EntityPair
+from repro.nn import Linear, Module
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        result = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert result.precision == result.recall == result.f1 == 1.0
+
+    def test_all_negative_prediction(self):
+        result = precision_recall_f1([0, 0, 0], [1, 0, 1])
+        assert result.f1 == 0.0 and result.false_negatives == 2
+
+    def test_known_case(self):
+        # tp=1, fp=1, fn=1 -> P=R=F1=0.5
+        result = precision_recall_f1([1, 1, 0], [1, 0, 1])
+        assert result.f1 == pytest.approx(0.5)
+
+    def test_f1_score_percent(self):
+        assert f1_score([1, 0], [1, 0]) == 100.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([1], [1, 0])
+
+    def test_str(self):
+        assert "F1=" in str(precision_recall_f1([1], [1]))
+
+    def test_best_threshold_improves_f1(self):
+        scores = np.array([0.9, 0.8, 0.3, 0.2, 0.1])
+        labels = [1, 1, 0, 0, 0]
+        threshold = best_threshold_f1(scores, labels)
+        assert f1_score((scores >= threshold).astype(int), labels) == 100.0
+
+    def test_best_threshold_on_inverted_scores_still_valid(self):
+        scores = np.array([0.1, 0.2, 0.9])
+        labels = [1, 1, 0]
+        threshold = best_threshold_f1(scores, labels)
+        predictions = (scores >= threshold).astype(int)
+        assert f1_score(predictions, labels) >= f1_score([1, 1, 1], labels) - 1e-9
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.integers(0, 1)), min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_best_threshold_never_worse_than_default(self, pairs):
+        scores = np.array([p[0] for p in pairs])
+        labels = [p[1] for p in pairs]
+        threshold = best_threshold_f1(scores, labels)
+        tuned = f1_score((scores >= threshold).astype(int), labels)
+        default = f1_score((scores >= 0.5).astype(int), labels)
+        assert tuned >= default - 1e-9
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=50),
+           st.lists(st.integers(0, 1), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_metric_bounds_property(self, a, b):
+        n = min(len(a), len(b))
+        result = precision_recall_f1(a[:n], b[:n])
+        for value in (result.precision, result.recall, result.f1):
+            assert 0.0 <= value <= 1.0
+
+
+class _TinyPairModel(Module):
+    """Classifies pairs by a learnable threshold on title overlap."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.fc = Linear(1, 2, rng=rng)
+
+    def forward(self, pairs):
+        overlap = np.array([
+            [len(set(p.left.text().split()) & set(p.right.text().split()))]
+            for p in pairs
+        ], dtype=np.float32)
+        return self.fc(Tensor(overlap))
+
+
+def _toy_pairs(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(n):
+        if rng.random() < 0.4:
+            pairs.append(EntityPair(
+                Entity.from_dict(f"l{i}", {"t": "alpha beta gamma"}),
+                Entity.from_dict(f"r{i}", {"t": "alpha beta delta"}), 1))
+        else:
+            pairs.append(EntityPair(
+                Entity.from_dict(f"l{i}", {"t": "alpha beta gamma"}),
+                Entity.from_dict(f"r{i}", {"t": "zeta eta theta"}), 0))
+    return pairs
+
+
+class TestTrainer:
+    def test_training_learns_separable_task(self, rng):
+        model = _TinyPairModel(rng)
+        pairs = _toy_pairs()
+        config = TrainConfig(epochs=20, batch_size=8, learning_rate=0.1)
+        result = train_pair_classifier(model, model.forward, pairs[:40], pairs[40:], config)
+        assert result.best_f1 == pytest.approx(1.0)
+        assert len(result.losses) == 20
+
+    def test_best_checkpoint_restored(self, rng):
+        model = _TinyPairModel(rng)
+        pairs = _toy_pairs()
+        config = TrainConfig(epochs=5, batch_size=8, learning_rate=0.1)
+        result = train_pair_classifier(model, model.forward, pairs[:40], pairs[40:], config)
+        # After restore, eval F1 equals the recorded best.
+        f1 = evaluate_forward(model, model.forward, pairs[40:], 8)
+        assert f1 == pytest.approx(result.best_f1)
+
+    def test_predict_forward_returns_probabilities(self, rng):
+        model = _TinyPairModel(rng)
+        pairs = _toy_pairs(10)
+        scores = predict_forward(model, model.forward, pairs, batch_size=4)
+        assert scores.shape == (10,)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_config_from_scale(self):
+        config = TrainConfig.from_scale(Scale(epochs=7, batch_size=3, learning_rate=0.5))
+        assert (config.epochs, config.batch_size, config.learning_rate) == (7, 3, 0.5)
+
+    def test_config_overrides(self):
+        config = TrainConfig.from_scale(Scale(), epochs=2, positive_weight=4.0)
+        assert config.epochs == 2 and config.positive_weight == 4.0
+
+    def test_empty_valid_set_handled(self, rng):
+        model = _TinyPairModel(rng)
+        pairs = _toy_pairs(20)
+        config = TrainConfig(epochs=2, batch_size=8, learning_rate=0.1)
+        result = train_pair_classifier(model, model.forward, pairs, [], config)
+        assert result.valid_f1 == [0.0, 0.0]

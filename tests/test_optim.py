@@ -1,0 +1,112 @@
+"""Optimizer tests: convergence, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.autograd.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_param():
+    return Tensor(np.array([5.0, -3.0], dtype=np.float64), requires_grad=True)
+
+
+def quadratic_loss(p):
+    return (p * p).sum()
+
+
+class TestSGD:
+    def test_sgd_descends_quadratic(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_param()
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return np.abs(p.data).max()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()  # no backward ran; must not crash
+        np.testing.assert_array_equal(p.data, [1.0])
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_adam_descends_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_adam_solves_linear_regression(self, rng):
+        X = rng.standard_normal((64, 3))
+        w_true = np.array([1.0, -2.0, 0.5])
+        y = X @ w_true
+        w = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([w], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            pred = Tensor(X) @ w
+            F.mse_loss(pred, y).backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, w_true, atol=0.01)
+
+    def test_bias_correction_first_step(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 2.0).sum().backward()
+        opt.step()
+        # First Adam step should be ≈ lr in the gradient direction.
+        np.testing.assert_allclose(p.data, [0.9], atol=1e-6)
+
+
+class TestClipping:
+    def test_clip_reduces_norm(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = np.array([10.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(10.0)
+        np.testing.assert_allclose(p.grad, [1.0])
+
+    def test_clip_noop_below_threshold(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_clip_global_norm_across_params(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=1.0)  # global norm was 5
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0)

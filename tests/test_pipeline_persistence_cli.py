@@ -1,0 +1,129 @@
+"""Tests for the ER pipeline, model persistence, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.config import Scale, set_scale
+from repro.data import load_dataset
+from repro.data.schema import Entity
+from repro.pipeline import ERPipeline, ResolutionResult
+from repro.matchers.magellan import MagellanMatcher
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    set_scale(Scale.ci())
+    return load_dataset("Fodors-Zagats", scale=Scale.ci())
+
+
+@pytest.fixture(scope="module")
+def tables(dataset):
+    """Small raw tables derived from the test pairs (with known matches)."""
+    table_a, table_b, truth = [], [], []
+    for pair in dataset.split.test[:10]:
+        if pair.label == 1:
+            truth.append((len(table_a), len(table_b)))
+        table_a.append(pair.left)
+        table_b.append(pair.right)
+    return table_a, table_b, truth
+
+
+class TestERPipeline:
+    def test_requires_fit(self, tables):
+        pipeline = ERPipeline(matcher=MagellanMatcher())
+        with pytest.raises(RuntimeError):
+            pipeline.resolve(tables[0], tables[1])
+
+    def test_resolve_produces_matrix(self, dataset, tables):
+        table_a, table_b, _ = tables
+        pipeline = ERPipeline(matcher=MagellanMatcher(), min_shared_tokens=1)
+        pipeline.fit(dataset)
+        result = pipeline.resolve(table_a, table_b)
+        assert isinstance(result, ResolutionResult)
+        assert result.num_candidates + result.num_comparisons_avoided == \
+               len(table_a) * len(table_b)
+        matrix = result.matrix((len(table_a), len(table_b)))
+        assert matrix.sum() == len(result.matches)
+
+    def test_scores_cover_all_candidates(self, dataset, tables):
+        table_a, table_b, _ = tables
+        pipeline = ERPipeline(matcher=MagellanMatcher(), min_shared_tokens=1)
+        pipeline.fit(dataset)
+        result = pipeline.resolve(table_a, table_b)
+        assert len(result.scores) == result.num_candidates
+        assert all(0.0 <= s <= 1.0 for s in result.scores.values())
+
+    def test_one_to_one_constraint(self, dataset, tables):
+        table_a, table_b, _ = tables
+        pipeline = ERPipeline(matcher=MagellanMatcher(), min_shared_tokens=1)
+        pipeline.fit(dataset)
+        result = pipeline.resolve_one_to_one(table_a, table_b)
+        lefts = [i for i, _ in result.matches]
+        rights = [j for _, j in result.matches]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_empty_tables(self, dataset):
+        pipeline = ERPipeline(matcher=MagellanMatcher()).fit(dataset)
+        result = pipeline.resolve([], [Entity.from_dict("b", {"t": "x"})])
+        assert result.matches == [] and result.num_candidates == 0
+
+
+class TestPersistence:
+    def test_ditto_roundtrip(self, dataset, tmp_path):
+        from repro.matchers.ditto import DittoModel
+        from repro.persistence import load_matcher, save_matcher
+
+        matcher = DittoModel()
+        matcher.fit(dataset)
+        original = matcher.scores(dataset.split.test[:6])
+        path = save_matcher(matcher, tmp_path / "ditto.npz")
+        restored = load_matcher(path)
+        np.testing.assert_allclose(restored.scores(dataset.split.test[:6]),
+                                   original, atol=1e-5)
+        assert restored.threshold == matcher.threshold
+
+    def test_hiergat_roundtrip(self, dataset, tmp_path):
+        from repro.core import HierGAT
+        from repro.persistence import load_matcher, save_matcher
+
+        matcher = HierGAT()
+        matcher.fit(dataset)
+        original = matcher.scores(dataset.split.test[:4])
+        restored = load_matcher(save_matcher(matcher, tmp_path / "hg.npz"))
+        np.testing.assert_allclose(restored.scores(dataset.split.test[:4]),
+                                   original, atol=1e-5)
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        from repro.matchers.ditto import DittoModel
+        from repro.persistence import save_matcher
+
+        with pytest.raises(RuntimeError):
+            save_matcher(DittoModel(), tmp_path / "x.npz")
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Beer" in out and "WDC domains" in out
+
+    def test_inspect_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["inspect", "--dataset", "Beer", "--num", "1", "--fast"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_train_magellan_fast(self, capsys):
+        from repro.cli import main
+
+        assert main(["train", "--dataset", "Beer", "--matcher", "magellan",
+                     "--fast"]) == 0
+        assert "test F1" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "table99", "--fast"]) == 2

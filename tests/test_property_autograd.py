@@ -1,0 +1,139 @@
+"""Hypothesis property tests: algebraic identities of the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.autograd import Tensor, concat, functional as F, stack
+
+
+@pytest.fixture(autouse=True)
+def float64_mode(f64):
+    yield
+
+
+def finite_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=st.floats(-10, 10, allow_nan=False, width=64),
+    )
+
+
+class TestAlgebraicIdentities:
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, data):
+        x = Tensor(data, requires_grad=True)
+        y = Tensor(data[::-1].copy(), requires_grad=True)
+        np.testing.assert_allclose((x + y).data, (y + x).data)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, data):
+        x = Tensor(data)
+        np.testing.assert_allclose((-(-x)).data, data)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_equals_numpy(self, data):
+        x = Tensor(data)
+        np.testing.assert_allclose(x.sum().item(), data.sum(), rtol=1e-10)
+
+    @given(finite_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_exp_log_roundtrip(self, data):
+        positive = np.abs(data) + 0.5
+        x = Tensor(positive)
+        np.testing.assert_allclose(x.log().exp().data, positive, rtol=1e-8)
+
+    @given(finite_arrays(max_dims=1))
+    @settings(max_examples=40, deadline=None)
+    def test_concat_then_split_is_identity(self, data):
+        x = Tensor(data)
+        joined = concat([x, x], axis=0)
+        np.testing.assert_allclose(joined.data[:len(data)], data)
+        np.testing.assert_allclose(joined.data[len(data):], data)
+
+    @given(finite_arrays(max_dims=1))
+    @settings(max_examples=40, deadline=None)
+    def test_stack_shape(self, data):
+        x = Tensor(data)
+        assert stack([x, x, x], axis=0).shape == (3,) + data.shape
+
+
+class TestGradientProperties:
+    @given(finite_arrays(max_dims=1, max_side=6))
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_of_grad(self, data):
+        """grad of (a*x).sum() is a for any constant a."""
+        x = Tensor(data, requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(data, 3.0))
+
+    @given(finite_arrays(max_dims=1, max_side=6))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_rule(self, data):
+        """grad(f + g) = grad(f) + grad(g)."""
+        x = Tensor(data, requires_grad=True)
+        (x * 2.0 + x * 5.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(data, 7.0))
+
+    @given(finite_arrays(max_dims=1, max_side=6))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_through_tanh_bounded(self, data):
+        """d tanh/dx = 1 - tanh² ∈ (0, 1]."""
+        x = Tensor(data, requires_grad=True)
+        x.tanh().sum().backward()
+        assert np.all(x.grad > 0) and np.all(x.grad <= 1.0 + 1e-12)
+
+    @given(finite_arrays(max_dims=2, max_side=5))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_grad_rows_sum_to_zero(self, data):
+        """Softmax outputs sum to 1, so row gradients sum to ~0 for any
+        upstream gradient that is constant within a row."""
+        if data.ndim != 2:
+            data = data.reshape(1, -1)
+        x = Tensor(data, requires_grad=True)
+        F.softmax(x, axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad.sum(axis=-1), 0.0, atol=1e-9)
+
+    @given(finite_arrays(max_dims=2, max_side=4))
+    @settings(max_examples=30, deadline=None)
+    def test_layer_norm_shift_invariance(self, data):
+        """LayerNorm(x + c) == LayerNorm(x) for scalar shifts."""
+        if data.ndim != 2 or data.shape[-1] < 2:
+            return
+        g = Tensor(np.ones(data.shape[-1]))
+        b = Tensor(np.zeros(data.shape[-1]))
+        base = F.layer_norm(Tensor(data), g, b).data
+        shifted = F.layer_norm(Tensor(data + 5.0), g, b).data
+        np.testing.assert_allclose(base, shifted, atol=1e-5)
+
+
+class TestLossProperties:
+    @given(st.integers(2, 8), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_cross_entropy_nonnegative(self, n, classes):
+        rng = np.random.default_rng(n * classes)
+        logits = Tensor(rng.standard_normal((n, classes)), requires_grad=True)
+        targets = rng.integers(0, classes, size=n)
+        loss = F.cross_entropy(logits, targets)
+        assert loss.item() >= 0.0
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_logits_give_log_classes(self, classes):
+        logits = Tensor(np.zeros((4, classes)), requires_grad=True)
+        targets = np.zeros(4, dtype=np.int64)
+        loss = F.cross_entropy(logits, targets)
+        np.testing.assert_allclose(loss.item(), np.log(classes), rtol=1e-6)
+
+    @given(finite_arrays(max_dims=1, max_side=8))
+    @settings(max_examples=30, deadline=None)
+    def test_bce_symmetry(self, data):
+        """BCE(x, 1) == BCE(-x, 0)."""
+        pos = F.binary_cross_entropy_with_logits(Tensor(data), np.ones(len(data)))
+        neg = F.binary_cross_entropy_with_logits(Tensor(-data), np.zeros(len(data)))
+        np.testing.assert_allclose(pos.item(), neg.item(), rtol=1e-8)

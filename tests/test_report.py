@@ -1,0 +1,59 @@
+"""Tests for the markdown report generator and shape checks."""
+
+import pytest
+
+from repro.harness.report import (
+    PAPER_REFERENCE, ShapeCheck, check_column_ordering, check_ordering,
+    render_markdown_report,
+)
+from repro.harness.tables import TableResult
+
+
+@pytest.fixture
+def table():
+    return TableResult(
+        experiment="Table 4", title="demo",
+        headers=["Dataset", "Magellan", "HG"],
+        rows=[["Amazon-Google", "49.1", "76.4"], ["Fodors-Zagats", "100.0", "100.0"]],
+    )
+
+
+class TestShapeChecks:
+    def test_ordering_holds(self, table):
+        check = check_ordering(table, "Amazon-Google", "HG", "Magellan")
+        assert check.holds and "76.4" in check.detail
+
+    def test_ordering_fails(self, table):
+        check = check_ordering(table, "Amazon-Google", "Magellan", "HG")
+        assert not check.holds
+
+    def test_tie_counts_as_holding(self, table):
+        check = check_ordering(table, "Fodors-Zagats", "HG", "Magellan")
+        assert check.holds
+
+    def test_missing_cell_reports_failure(self, table):
+        check = check_ordering(table, "Nope", "HG", "Magellan")
+        assert not check.holds
+
+    def test_column_ordering(self, table):
+        check = check_column_ordering(table, "Fodors-Zagats", "Amazon-Google", "HG")
+        assert check.holds
+
+    def test_render_marks(self):
+        assert "✓" in ShapeCheck("c", True).render()
+        assert "✗" in ShapeCheck("c", False).render()
+
+
+class TestMarkdownReport:
+    def test_report_contains_tables_and_checks(self, table):
+        checks = [ShapeCheck("HG beats Magellan on A-G", True, "76.4 vs 49.1")]
+        text = render_markdown_report({"table4": table}, checks)
+        assert "Generated" in text
+        assert "| Dataset | Magellan | HG |" in text
+        assert "Shape checks (1/1 hold)" in text
+        assert "Paper anchors" in text  # table4 has reference values
+
+    def test_reference_values_sane(self):
+        for experiment, anchors in PAPER_REFERENCE.items():
+            for key, value in anchors.items():
+                assert 0.0 <= value <= 100.0, (experiment, key)

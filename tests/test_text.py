@@ -1,0 +1,152 @@
+"""Tests for tokenizer, vocabulary (incl. OOV buckets), and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import Entity
+from repro.text import (
+    CLS_TOKEN, COL_TOKEN, NAN_TOKEN, SEP_TOKEN, Tokenizer, UNK_TOKEN, VAL_TOKEN,
+    Vocabulary, serialize_attribute, serialize_entity, serialize_pair, tokenize,
+)
+from repro.text.serialize import attribute_token_lists
+
+
+class TestTokenizer:
+    def test_lowercase_and_split(self):
+        assert tokenize("Adobe SPARK Pro") == ["adobe", "spark", "pro"]
+
+    def test_punctuation_boundaries(self):
+        assert tokenize("tp-link (router)") == ["tp", "link", "router"]
+
+    def test_decimal_numbers_kept_whole(self):
+        assert tokenize("price 12.99 usd") == ["price", "12.99", "usd"]
+
+    def test_none_and_empty(self):
+        assert tokenize(None) == []
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+    def test_max_tokens_cap(self):
+        tk = Tokenizer(max_tokens=2)
+        assert tk("a b c d") == ["a", "b"]
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_tokens_always_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert all(c.isalnum() or c == "." for c in token)
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent_on_own_output(self, text):
+        once = tokenize(text)
+        again = tokenize(" ".join(once))
+        assert once == again
+
+
+class TestVocabulary:
+    def make(self):
+        return Vocabulary.from_corpus(
+            [["apple", "banana"], ["apple", "cherry"]], num_oov_buckets=8,
+        )
+
+    def test_specials_have_stable_low_ids(self):
+        vocab = self.make()
+        assert vocab.pad_id == 0
+        assert vocab.token_to_id(CLS_TOKEN) == vocab.cls_id
+
+    def test_frequency_ordering(self):
+        vocab = self.make()
+        assert vocab.token_to_id("apple") < vocab.token_to_id("banana")
+
+    def test_known_roundtrip(self):
+        vocab = self.make()
+        for token in ["apple", "banana", "cherry"]:
+            assert vocab.id_to_token(vocab.token_to_id(token)) == token
+
+    def test_oov_buckets_distinguish_unknowns(self):
+        vocab = self.make()
+        a = vocab.token_to_id("coolmax")
+        b = vocab.token_to_id("tplink")
+        assert a >= vocab.num_known and b >= vocab.num_known
+        # Distinct unknown words usually land in distinct buckets.
+        assert a != b
+
+    def test_oov_deterministic_across_instances(self):
+        a = self.make().token_to_id("zzz-unknown")
+        b = self.make().token_to_id("zzz-unknown")
+        assert a == b
+
+    def test_oov_decodes_to_unk(self):
+        vocab = self.make()
+        assert vocab.id_to_token(vocab.token_to_id("never-seen")) == UNK_TOKEN
+
+    def test_len_includes_buckets(self):
+        vocab = self.make()
+        assert len(vocab) == vocab.num_known + 8
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            self.make().id_to_token(10_000)
+
+    def test_min_freq_filters(self):
+        vocab = Vocabulary.from_corpus([["rare"], ["common", "common"]], min_freq=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_max_size_cap(self):
+        corpus = [[f"w{i}"] * (100 - i) for i in range(50)]
+        vocab = Vocabulary.from_corpus(corpus, max_size=20)
+        assert vocab.num_known == 20
+
+    def test_freeze_twice_raises(self):
+        vocab = self.make()
+        with pytest.raises(RuntimeError):
+            vocab.freeze()
+
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_length_preserved(self, tokens):
+        vocab = self.make()
+        assert len(vocab.decode(vocab.encode(tokens))) == len(tokens)
+
+
+class TestSerialization:
+    def entity(self):
+        return Entity.from_dict("e1", {"title": "Adobe Spark", "price": "9.99"})
+
+    def test_attribute_format(self):
+        tokens = serialize_attribute("title", "Adobe Spark")
+        assert tokens == [COL_TOKEN, "title", VAL_TOKEN, "adobe", "spark"]
+
+    def test_entity_concatenates_attributes(self):
+        tokens = serialize_entity(self.entity())
+        assert tokens.count(COL_TOKEN) == 2
+        assert "9.99" in tokens
+
+    def test_pair_has_cls_and_seps(self):
+        tokens = serialize_pair(self.entity(), self.entity())
+        assert tokens[0] == CLS_TOKEN
+        assert tokens.count(SEP_TOKEN) == 2
+        assert tokens[-1] == SEP_TOKEN
+
+    def test_pair_truncation_budget(self):
+        left = Entity.from_dict("a", {"t": " ".join(f"w{i}" for i in range(100))})
+        tokens = serialize_pair(left, left, max_tokens=21)
+        assert len(tokens) <= 21 + 3
+
+    def test_missing_value_serialized_as_nan(self):
+        entity = Entity.from_dict("e", {"title": "", "price": "5"})
+        assert NAN_TOKEN in serialize_entity(entity)
+
+    def test_attribute_token_lists_structure(self):
+        structured = attribute_token_lists(self.entity())
+        assert structured[0] == ("title", ["adobe", "spark"])
+        assert structured[1][0] == "price"
+
+    def test_value_token_cap(self):
+        entity = Entity.from_dict("e", {"t": "a b c d e"})
+        structured = attribute_token_lists(entity, max_value_tokens=2)
+        assert structured[0][1] == ["a", "b"]

@@ -1,0 +1,67 @@
+"""Tests for the unaligned-attribute extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.config import Scale, set_scale
+from repro.core.unaligned import (
+    SoftAttributeAligner, UnalignedHierGAT, make_unaligned, make_unaligned_dataset,
+)
+from repro.data import load_dataset
+from repro.autograd import Tensor
+
+
+@pytest.fixture(scope="module")
+def unaligned_dataset():
+    set_scale(Scale.ci())
+    clean = load_dataset("Fodors-Zagats", scale=Scale.ci())
+    return make_unaligned_dataset(clean, seed=3)
+
+
+class TestMakeUnaligned:
+    def test_right_keys_obfuscated(self, unaligned_dataset):
+        pair = unaligned_dataset.pairs[0]
+        assert all(k.startswith("col") for k in pair.right.keys)
+        assert not any(k.startswith("col") for k in pair.left.keys)
+
+    def test_values_preserved_as_multiset(self):
+        clean = load_dataset("Fodors-Zagats", scale=Scale.ci())
+        scrambled = make_unaligned(clean.pairs[:10], seed=0)
+        for c, s in zip(clean.pairs[:10], scrambled):
+            assert sorted(v for _, v in c.right.attributes) == \
+                   sorted(v for _, v in s.right.attributes)
+
+    def test_labels_untouched(self, unaligned_dataset):
+        clean = load_dataset("Fodors-Zagats", scale=Scale.ci())
+        assert [p.label for p in unaligned_dataset.split.test] == \
+               [p.label for p in clean.split.test]
+
+    def test_dataset_renamed(self, unaligned_dataset):
+        assert "(unaligned)" in unaligned_dataset.name
+
+
+class TestSoftAligner:
+    def test_assignment_rows_normalised(self, rng):
+        aligner = SoftAttributeAligner(8)
+        left = [Tensor(rng.standard_normal((3, 8)).astype(np.float32)) for _ in range(2)]
+        right = [Tensor(rng.standard_normal((3, 8)).astype(np.float32)) for _ in range(4)]
+        assignment = aligner(left, right)
+        assert assignment.shape == (3, 2, 4)
+        np.testing.assert_allclose(assignment.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_identical_embeddings_align_diagonally(self):
+        base = np.eye(3, 8, dtype=np.float32) * 5
+        left = [Tensor(np.tile(base[i], (2, 1))) for i in range(3)]
+        right = [Tensor(np.tile(base[i], (2, 1))) for i in range(3)]
+        aligner = SoftAttributeAligner(8)
+        assignment = aligner(left, right).data
+        assert np.all(assignment.argmax(axis=-1)[0] == np.arange(3))
+
+
+class TestUnalignedHierGAT:
+    def test_trains_on_scrambled_schema(self, unaligned_dataset):
+        matcher = UnalignedHierGAT()
+        matcher.fit(unaligned_dataset)
+        f1 = matcher.test_f1(unaligned_dataset)
+        assert 0.0 <= f1 <= 100.0
+        assert matcher._aligner.last_assignment is not None
