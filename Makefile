@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-full examples report clean-cache
+.PHONY: install test check bench bench-full bench-perf examples report clean-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +10,17 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Full pre-merge gate: the unit suite plus a profiled end-to-end smoke run.
+check:
+	$(PYTHON) -m pytest tests/ -q
+	$(PYTHON) -m repro profile --dataset Beer --fast --perf full --top 5
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Performance-layer benchmark: cached/fused vs uncached, writes BENCH_perf.json.
+bench-perf:
+	$(PYTHON) benchmarks/run_perf.py
 
 bench-full:
 	$(PYTHON) benchmarks/run_all.py

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Measure the performance layer: cached/fused run vs uncached baseline.
+
+Runs ``run_table4_magellan`` on the quick dataset subset twice at the test
+(CI) scale — once with the performance layer off, once with cache + fused
+forward on — both under the op-level profiler, and writes the comparison to
+``BENCH_perf.json`` at the repo root.
+
+Usage:
+    python benchmarks/run_perf.py              # CI scale (the acceptance run)
+    python benchmarks/run_perf.py --bench      # the larger benchmark scale
+    python benchmarks/run_perf.py --top 15
+
+Methodology notes:
+
+* The pre-trained LM checkpoints are built (or loaded) before timing starts;
+  both runs share them, so checkpoint I/O never enters the comparison.
+* The cache switch alone is bitwise-transparent (identical logits); the
+  fused forward is a throughput mode whose training trajectory differs from
+  the per-slot path (positional shift under common padding), so the two runs
+  report different F1 rows.  Both tables are recorded for transparency.
+"""
+
+import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def _timed_run(profiler_ctx, **table_kwargs):
+    from repro.harness.pairwise import run_table4_magellan
+
+    started = time.perf_counter()
+    with profiler_ctx as prof:
+        table = run_table4_magellan(**table_kwargs)
+    seconds = time.perf_counter() - started
+    return table, seconds, prof
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", action="store_true",
+                        help="use the larger benchmark scale instead of CI")
+    parser.add_argument("--top", type=int, default=10, help="ops to record")
+    args = parser.parse_args()
+
+    from repro import perf
+    from repro.config import Scale, set_scale
+    from repro.harness.pairwise import QUICK_DATASETS
+    from repro.lm.checkpoint import load_checkpoint
+
+    scale = Scale.bench() if args.bench else Scale.ci()
+    set_scale(scale)
+    print(f"scale: max_pairs={scale.max_pairs} epochs={scale.epochs} "
+          f"dim={scale.hidden_dim}")
+    print("warming LM checkpoints (untimed) ...", flush=True)
+    load_checkpoint("roberta")
+
+    table_kwargs = dict(datasets=QUICK_DATASETS, models=("HG",),
+                        include_dirty=True)
+    runs = {}
+    for mode in ("baseline", "perf"):
+        if mode == "baseline":
+            perf.disable()
+        else:
+            perf.enable()
+            perf.clear_caches()
+            perf.reset_stats()
+        print(f"running {mode} ({'cache+fused' if mode == 'perf' else 'all off'}) ...",
+              flush=True)
+        table, seconds, prof = _timed_run(perf.profile(), **table_kwargs)
+        runs[mode] = {
+            "seconds": round(seconds, 3),
+            "top_ops": [s.as_dict() for s in prof.top(args.top)],
+            "f1_table": {"headers": table.headers, "rows": table.rows},
+        }
+        print(f"  {mode}: {seconds:.2f}s")
+
+    caches = perf.cache_stats()  # stats from the perf run only
+    encoder_hits = caches["tokens"]["hits"] + caches["batches"]["hits"]
+    encoder_total = encoder_hits + caches["tokens"]["misses"] + caches["batches"]["misses"]
+    encoder_hit_rate = encoder_hits / encoder_total if encoder_total else 0.0
+    speedup = runs["baseline"]["seconds"] / runs["perf"]["seconds"]
+
+    payload = {
+        "experiment": "run_table4_magellan quick subset, HG only, +dirty",
+        "datasets": list(QUICK_DATASETS),
+        "scale": dataclasses.asdict(scale),
+        "baseline": runs["baseline"],
+        "perf": runs["perf"],
+        "speedup": round(speedup, 3),
+        "encoder_cache_hit_rate": round(encoder_hit_rate, 4),
+        "cache_stats": caches,
+        "notes": [
+            "baseline = perf.disable(): no caches, per-slot forward",
+            "perf = perf.enable(): encoding caches + fused slot-stacked forward",
+            "cache switch alone is bitwise-transparent; fused forward is a "
+            "throughput mode, hence the differing F1 rows",
+            "LM checkpoints warmed before timing; both runs share them",
+        ],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print(f"\nspeedup           {speedup:.2f}x "
+          f"(baseline {runs['baseline']['seconds']:.2f}s / "
+          f"perf {runs['perf']['seconds']:.2f}s)")
+    print(f"encoder hit rate  {encoder_hit_rate:.1%}")
+    for name, stats in caches.items():
+        print(f"cache[{name:7s}]    hits={stats['hits']:<6} "
+              f"misses={stats['misses']:<6} hit_rate={stats['hit_rate']:.1%}")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ Public API::
 
 from repro.autograd.tensor import (
     Tensor,
+    broadcast_to,
     concat,
     no_grad,
     ones,
@@ -35,6 +36,7 @@ __all__ = [
     "zeros",
     "ones",
     "randn",
+    "broadcast_to",
     "concat",
     "stack",
     "no_grad",

@@ -7,6 +7,7 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.perf.cache import bump_params_version
 
 
 class Optimizer:
@@ -54,6 +55,7 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data -= self.lr * grad
+        bump_params_version()
 
 
 class Adam(Optimizer):
@@ -91,6 +93,7 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        bump_params_version()
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:

@@ -21,6 +21,12 @@ import numpy as np
 _state = threading.local()
 _DEFAULT_DTYPE = np.float32
 
+#: Op-level profiler hook, installed by :mod:`repro.perf.profiler`.  ``None``
+#: (the default) keeps the engine at zero profiling overhead: one global load
+#: and an ``is None`` test per op.  When set, it is called as
+#: ``hook(op_name, output_nbytes)`` at every op boundary.
+_profile_hook = None
+
 
 def set_default_dtype(dtype) -> None:
     """Set the dtype used for newly created tensors (float32 or float64)."""
@@ -143,7 +149,23 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
-        requires = _grad_enabled() and any(p.requires_grad for p in parents)
+        if _profile_hook is not None:
+            _profile_hook(op, data.nbytes if isinstance(data, np.ndarray) else 0)
+        if not _grad_enabled():
+            # Inference fast path: no parent tuple, no requires_grad scan, no
+            # backward closure retained — the graph is never recorded.
+            arr = data if isinstance(data, np.ndarray) else np.asarray(data)
+            if arr.dtype not in (np.float32, np.float64):
+                arr = arr.astype(_DEFAULT_DTYPE)
+            out = Tensor.__new__(Tensor)
+            out.data = arr
+            out.grad = None
+            out.requires_grad = False
+            out._backward = None
+            out._parents = ()
+            out._op = op
+            return out
+        requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _parents=parents if requires else (), _op=op)
         if requires:
             out._backward = backward
@@ -194,9 +216,14 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        hook = _profile_hook
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if hook is not None:
+                    # Boundary timing in the profiler attributes the elapsed
+                    # time since the last event to this closure.
+                    hook("bwd:" + node._op, 0)
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -508,6 +535,24 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             t._accumulate(grad[tuple(index)])
 
     return Tensor._make(data, tensors, backward, "concat")
+
+
+def broadcast_to(t: Tensor, shape: tuple) -> Tensor:
+    """Broadcast ``t`` to ``shape`` without copying (differentiable).
+
+    The forward result is a read-only numpy view; the backward pass reduces
+    the incoming gradient back to ``t``'s shape via :func:`unbroadcast`.
+    Replaces the ``x * ones(shape)`` tiling idiom, which materializes both
+    the ones array and the product.
+    """
+    t = t if isinstance(t, Tensor) else Tensor(t)
+    shape = tuple(int(d) for d in shape)
+    data = np.broadcast_to(t.data, shape)
+
+    def backward(grad: np.ndarray) -> None:
+        t._accumulate(unbroadcast(grad, t.shape))
+
+    return Tensor._make(data, (t,), backward, "broadcast")
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

@@ -5,6 +5,7 @@ Commands:
     train --dataset NAME          train a matcher, report test F1, optionally save
     bench EXPERIMENT [...]        regenerate one or more paper tables/figures
     inspect --dataset NAME        print sample pairs and dataset statistics
+    profile --dataset NAME        train under the op-level profiler, print hot ops
 """
 
 from __future__ import annotations
@@ -113,6 +114,38 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    _apply_scale(args)
+    import time
+
+    from repro import perf
+    from repro.data import load_dataset
+
+    if args.perf == "off":
+        perf.disable()
+    elif args.perf == "full":
+        perf.enable()
+    # "default" leaves the session config (cache on, fused off) untouched.
+
+    dataset = load_dataset(args.dataset, dirty=args.dirty)
+    matcher = _make_matcher(args.matcher)
+    perf.reset_stats()
+    start = time.perf_counter()
+    with perf.profile() as prof:
+        matcher.fit(dataset)
+        f1 = matcher.test_f1(dataset)
+    wall = time.perf_counter() - start
+
+    print(prof.report(args.top))
+    print()
+    print(f"wall time      {wall:.2f}s  (fit + test predict, {args.dataset})")
+    print(f"test F1        {f1:.1f}")
+    for name, stats in perf.cache_stats().items():
+        print(f"cache[{name}]   hits={stats['hits']} misses={stats['misses']} "
+              f"evictions={stats['evictions']} hit_rate={stats['hit_rate']:.0%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -135,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--dirty", action="store_true")
     inspect.add_argument("--num", type=int, default=3)
     inspect.add_argument("--fast", action="store_true")
+
+    profile = sub.add_parser("profile", help="train under the op-level profiler")
+    profile.add_argument("--dataset", required=True)
+    profile.add_argument("--matcher", choices=MATCHER_CHOICES, default="hiergat")
+    profile.add_argument("--dirty", action="store_true")
+    profile.add_argument("--top", type=int, default=10, help="ops to show")
+    profile.add_argument("--perf", choices=("default", "off", "full"),
+                         default="default",
+                         help="performance-layer switches during the run")
+    profile.add_argument("--fast", action="store_true", help="tiny CI scale")
     return parser
 
 
@@ -145,6 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": cmd_train,
         "bench": cmd_bench,
         "inspect": cmd_inspect,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

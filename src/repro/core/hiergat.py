@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd import Tensor, concat, functional as F, no_grad
+from repro.autograd import Tensor, broadcast_to, concat, functional as F, no_grad
 from repro.autograd.optim import Adam, clip_grad_norm
 from repro.config import Scale, get_scale
 from repro.core.aggregation import AttributeSummarizer, EntitySummarizer
@@ -71,6 +71,10 @@ class HierGATNetwork(Module):
         ``slot_inputs`` is a list over the K attribute slots of
         ``((left_ids, left_mask), (right_ids, right_mask))`` padded batches.
         """
+        from repro import perf
+
+        if perf.fused_enabled():
+            return self._forward_fused(slot_inputs)
         similarities: List[Tensor] = []
         left_attrs: List[Tensor] = []
         right_attrs: List[Tensor] = []
@@ -86,6 +90,56 @@ class HierGATNetwork(Module):
         if self.config.use_entity_summarization:
             left_view = EntitySummarizer.mean_view(left_attrs)
             right_view = EntitySummarizer.mean_view(right_attrs)
+            entity_context = concat([left_view, right_view], axis=1)
+        similarity = self.entity_comparator(similarities, entity_context)
+        return self.head(similarity)
+
+    def _forward_fused(self, slot_inputs: List[tuple]) -> Tensor:
+        """Slot-stacked pairwise forward: one LM/summarizer/comparator call.
+
+        Stacks all K slots of both record sides into a single ``(2K·B, W)``
+        megabatch, so the contextual embedder, the attribute summarizer, and
+        the attribute comparator each run once per step instead of per slot.
+        Same modules and masking as :meth:`forward`, but not identical
+        outputs: the common padded width ``W`` shifts where the right-side
+        segment lands in the comparator's joined sequence (different
+        positional encodings), reassociates float sums, and changes
+        training-mode dropout draws.  When every slot already shares one
+        width the two paths agree to float tolerance.  Models trained with
+        the fused path are self-consistent; it is a throughput mode, not a
+        bit-for-bit replay of the per-slot path.
+        """
+        k_slots = len(slot_inputs)
+        batch = slot_inputs[0][0][0].shape[0]
+        pad_id = self.context.lm.vocab.pad_id
+        width = max(ids.shape[1] for left, right in slot_inputs
+                    for ids, _ in (left, right))
+
+        def pad_to_width(ids: np.ndarray, mask: np.ndarray):
+            if ids.shape[1] == width:
+                return ids, mask
+            out_ids = np.full((ids.shape[0], width), pad_id, dtype=ids.dtype)
+            out_ids[:, :ids.shape[1]] = ids
+            out_mask = np.zeros((mask.shape[0], width), dtype=bool)
+            out_mask[:, :mask.shape[1]] = mask
+            return out_ids, out_mask
+
+        sides = ([pad_to_width(*left) for left, _ in slot_inputs]
+                 + [pad_to_width(*right) for _, right in slot_inputs])
+        big_ids = np.concatenate([ids for ids, _ in sides], axis=0)
+        big_mask = np.concatenate([mask for _, mask in sides], axis=0)
+
+        wpc = self.context(big_ids, big_mask)
+        attrs = self.summarizer(wpc, big_mask)
+        kb = k_slots * batch
+        similarities_all = self.comparator(
+            wpc[:kb], big_mask[:kb], wpc[kb:], big_mask[kb:])
+        similarities = [similarities_all[k * batch:(k + 1) * batch]
+                        for k in range(k_slots)]
+        entity_context = None
+        if self.config.use_entity_summarization:
+            left_view = attrs[:kb].reshape(k_slots, batch, -1).mean(axis=0)
+            right_view = attrs[kb:].reshape(k_slots, batch, -1).mean(axis=0)
             entity_context = concat([left_view, right_view], axis=1)
         similarity = self.entity_comparator(similarities, entity_context)
         return self.head(similarity)
@@ -110,7 +164,8 @@ class HierGATNetwork(Module):
         raws, token_ctxs, attr_ctxs, masks = [], [], [], []
         for ids, mask in slots:
             raw = self.context.lm.embed(ids)
-            token_ctx = self.context.token_context(ids, mask) if self.config.context.token else None
+            token_ctx = (self.context.lm.encoder(raw, pad_mask=mask)
+                         if self.config.context.token else None)
             source = token_ctx if token_ctx is not None else raw
             attr_ctx = (self.context.attribute_context(source, mask)
                         if self.config.context.attribute else None)
@@ -149,10 +204,10 @@ class HierGATNetwork(Module):
 
         # Stage 5: compare the query against each candidate, all slots.
         similarities: List[Tensor] = []
-        ones = Tensor(np.ones((n, 1, 1), dtype=raws[0].data.dtype))
         for k, (ids, mask) in enumerate(slots):
-            query_wpc = wpcs[k][0:1, :, :] * ones      # tile query over candidates
-            query_mask = np.repeat(masks[k][0:1], n, axis=0)
+            query = wpcs[k][0:1, :, :]
+            query_wpc = broadcast_to(query, (n,) + query.shape[1:])
+            query_mask = np.broadcast_to(masks[k][0:1], (n,) + masks[k].shape[1:])
             cand_wpc = wpcs[k][1:, :, :]
             cand_mask = masks[k][1:]
             similarities.append(
@@ -160,8 +215,8 @@ class HierGATNetwork(Module):
             )
         entity_context = None
         if self.config.use_entity_summarization:
-            query_view = entity_views[0:1, :] * Tensor(
-                np.ones((n, 1), dtype=raws[0].data.dtype))
+            query_view = broadcast_to(entity_views[0:1, :],
+                                      (n, entity_views.shape[1]))
             cand_views = entity_views[1:, :]
             entity_context = concat([query_view, cand_views], axis=1)
         similarity = self.entity_comparator(similarities, entity_context)
@@ -253,7 +308,9 @@ class HierGAT(Matcher):
             dataset.split.train, dataset.split.valid, config,
         )
         if dataset.split.valid:
-            valid_scores = self.scores(dataset.split.valid)
+            valid_scores = self.train_result.best_valid_scores
+            if valid_scores is None:
+                valid_scores = self.scores(dataset.split.valid)
             self.threshold = best_threshold_f1(valid_scores, labels_of(dataset.split.valid))
         return self
 

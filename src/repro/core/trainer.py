@@ -52,6 +52,11 @@ class TrainResult:
     valid_f1: List[float]
     best_epoch: int
     best_f1: float
+    #: Validation scores at the best epoch.  The restored weights are the
+    #: best epoch's weights, so these equal a post-restore re-scoring of the
+    #: validation set bit for bit — callers can reuse them (e.g. for
+    #: threshold selection) instead of running inference again.
+    best_valid_scores: Optional[np.ndarray] = None
 
 
 # A forward function maps a list of pairs to (n, 2) match logits.
@@ -82,15 +87,19 @@ def train_pair_classifier(
     best_f1 = -1.0
     best_epoch = -1
     best_state: Optional[Dict[str, np.ndarray]] = None
+    best_scores: Optional[np.ndarray] = None
 
     indices = np.arange(len(train_pairs))
+    # Label array built once; per-batch labels are index views of it.
+    all_labels = np.array([p.label for p in train_pairs])
     for epoch in range(config.epochs):
         model.train()
         rng.shuffle(indices)
         epoch_losses: List[float] = []
         for start in range(0, len(indices), config.batch_size):
-            batch = [train_pairs[int(i)] for i in indices[start:start + config.batch_size]]
-            labels = np.array([p.label for p in batch])
+            batch_indices = indices[start:start + config.batch_size]
+            batch = [train_pairs[int(i)] for i in batch_indices]
+            labels = all_labels[batch_indices]
             logits = forward(batch)
             loss = F.cross_entropy(logits, labels, weight=class_weight)
             optimizer.zero_grad()
@@ -100,17 +109,25 @@ def train_pair_classifier(
             epoch_losses.append(loss.item())
         losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
 
-        f1 = evaluate_forward(model, forward, valid_pairs, config.batch_size) if valid_pairs else 0.0
+        scores = (predict_forward(model, forward, valid_pairs, config.batch_size)
+                  if valid_pairs else None)
+        if scores is None:
+            f1 = 0.0
+        else:
+            labels = [p.label for p in valid_pairs]
+            f1 = precision_recall_f1((scores >= 0.5).astype(int), labels).f1
         valid_f1.append(f1)
         if f1 >= best_f1:
             best_f1 = f1
             best_epoch = epoch
             best_state = model.state_dict()
+            best_scores = scores
 
     if best_state is not None:
         model.load_state_dict(best_state)
     model.eval()
-    return TrainResult(losses=losses, valid_f1=valid_f1, best_epoch=best_epoch, best_f1=best_f1)
+    return TrainResult(losses=losses, valid_f1=valid_f1, best_epoch=best_epoch,
+                       best_f1=best_f1, best_valid_scores=best_scores)
 
 
 def predict_forward(model: Module, forward: ForwardFn,

@@ -169,6 +169,55 @@ def _pretrain(name: str, scale: Scale, steps: int) -> Tuple[Dict[str, np.ndarray
     return lm.state_dict(), network.head.state_dict()
 
 
+def _read_checkpoint(path: Path) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]]:
+    """Load a cached checkpoint; on any corruption, discard the file.
+
+    Interrupted writes used to leave truncated ``.npz`` files behind, which
+    then crashed every later run with ``zipfile.BadZipFile``.  Any read/parse
+    failure here is treated as "no cache": the bad file is removed and the
+    caller rebuilds it.
+    """
+    import zipfile
+
+    try:
+        with np.load(path) as data:
+            lm_state = {k[3:]: data[k] for k in data.files if k.startswith("lm:")}
+            head_state = {k[5:]: data[k] for k in data.files if k.startswith("head:")}
+        if not lm_state:
+            raise KeyError("checkpoint has no lm arrays")
+        return lm_state, head_state
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _write_checkpoint(path: Path, lm_state: Dict[str, np.ndarray],
+                      head_state: Dict[str, np.ndarray]) -> None:
+    """Atomically persist a checkpoint (temp file + ``os.replace``).
+
+    ``np.savez`` appends ``.npz`` to string paths, so we hand it an open file
+    object; the rename is atomic on POSIX, so readers never see a partial
+    file even if this process dies mid-write.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {f"lm:{k}": v for k, v in lm_state.items()}
+    payload.update({f"head:{k}": v for k, v in head_state.items()})
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
 def load_checkpoint(name: str, scale: Optional[Scale] = None,
                     steps: Optional[int] = None) -> Tuple[PretrainedLM, Dict[str, np.ndarray]]:
     """Return a fresh :class:`PretrainedLM` with pre-trained weights, plus the
@@ -183,17 +232,11 @@ def load_checkpoint(name: str, scale: Optional[Scale] = None,
 
     if key not in _memory_cache:
         path = cache_dir() / f"{key}.npz"
-        if path.exists():
-            with np.load(path) as data:
-                lm_state = {k[3:]: data[k] for k in data.files if k.startswith("lm:")}
-                head_state = {k[5:]: data[k] for k in data.files if k.startswith("head:")}
-        else:
-            lm_state, head_state = _pretrain(name, scale, steps)
-            cache_dir().mkdir(parents=True, exist_ok=True)
-            payload = {f"lm:{k}": v for k, v in lm_state.items()}
-            payload.update({f"head:{k}": v for k, v in head_state.items()})
-            np.savez(path, **payload)
-        _memory_cache[key] = (lm_state, head_state)
+        states = _read_checkpoint(path) if path.exists() else None
+        if states is None:
+            states = _pretrain(name, scale, steps)
+            _write_checkpoint(path, *states)
+        _memory_cache[key] = states
 
     lm_state, head_state = _memory_cache[key]
     lm = load_language_model(name, global_vocabulary(), corpus=None, scale=scale,

@@ -99,7 +99,9 @@ class DeepERModel(Matcher):
             dataset.split.train, dataset.split.valid, config,
         )
         if dataset.split.valid:
-            valid_scores = self.scores(dataset.split.valid)
+            valid_scores = self.train_result.best_valid_scores
+            if valid_scores is None:
+                valid_scores = self.scores(dataset.split.valid)
             self.threshold = best_threshold_f1(valid_scores, labels_of(dataset.split.valid))
         return self
 

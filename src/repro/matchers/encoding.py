@@ -13,9 +13,16 @@ import numpy as np
 
 from repro.config import Scale, get_scale
 from repro.data.schema import EntityPair, PairDataset
+from repro.perf.cache import batch_cache, entity_key, instance_token, token_cache
 from repro.text.serialize import serialize_pair
 from repro.text.tokenizer import tokenize
 from repro.text.vocab import Vocabulary
+
+
+def _cache_on() -> bool:
+    from repro import perf
+
+    return perf.cache_enabled()
 
 
 def build_vocabulary(dataset: PairDataset, num_oov_buckets: int = 64) -> Tuple[Vocabulary, List[List[str]]]:
@@ -58,11 +65,23 @@ class PairEncoder:
         self.vocab = vocab
         self.max_tokens = max_tokens or scale.max_tokens
 
+    def _pair_ids(self, pair: EntityPair) -> List[int]:
+        return self.vocab.encode(
+            serialize_pair(pair.left, pair.right, max_tokens=self.max_tokens))
+
     def encode(self, pairs: Sequence[EntityPair]) -> Tuple[np.ndarray, np.ndarray]:
-        sequences = [
-            self.vocab.encode(serialize_pair(p.left, p.right, max_tokens=self.max_tokens))
-            for p in pairs
-        ]
+        if _cache_on():
+            vkey = instance_token(self.vocab)
+            cache = token_cache()
+            sequences = [
+                cache.get_or_compute(
+                    ("pair", entity_key(p.left), entity_key(p.right),
+                     self.max_tokens, vkey),
+                    lambda p=p: self._pair_ids(p))
+                for p in pairs
+            ]
+        else:
+            sequences = [self._pair_ids(p) for p in pairs]
         return pad_sequences(sequences, self.vocab.pad_id, max_len=self.max_tokens)
 
 
@@ -82,6 +101,14 @@ class AttributeEncoder:
         self.include_key = include_key
 
     def attribute_ids(self, entity, slot: int) -> List[int]:
+        if _cache_on():
+            key = ("attr", entity_key(entity), slot, self.max_value_tokens,
+                   self.include_key, instance_token(self.vocab))
+            return token_cache().get_or_compute(
+                key, lambda: self._attribute_ids(entity, slot))
+        return self._attribute_ids(entity, slot)
+
+    def _attribute_ids(self, entity, slot: int) -> List[int]:
         key, value = entity.attributes[slot]
         tokens = tokenize(value)[: self.max_value_tokens]
         ids = [self.vocab.cls_id]
@@ -93,6 +120,20 @@ class AttributeEncoder:
 
     def encode_slot(self, pairs: Sequence[EntityPair], slot: int,
                     side: str) -> Tuple[np.ndarray, np.ndarray]:
+        if not _cache_on():
+            return self._encode_slot(pairs, slot, side)
+        # The padded batch is reused verbatim whenever the same batch
+        # composition recurs — e.g. the per-epoch validation passes and the
+        # post-restore scoring, which iterate identical batches every time.
+        key = ("slot", tuple(entity_key(p.left if side == "left" else p.right)
+                             for p in pairs),
+               slot, self.max_value_tokens, self.include_key,
+               instance_token(self.vocab))
+        return batch_cache().get_or_compute(
+            key, lambda: self._encode_slot(pairs, slot, side))
+
+    def _encode_slot(self, pairs: Sequence[EntityPair], slot: int,
+                     side: str) -> Tuple[np.ndarray, np.ndarray]:
         sequences = []
         for pair in pairs:
             entity = pair.left if side == "left" else pair.right

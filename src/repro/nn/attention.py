@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd import Tensor, functional as F, get_default_dtype
+from repro.autograd import Tensor, broadcast_to, functional as F, get_default_dtype
 from repro.nn.layers import Dropout, Linear, xavier_uniform
 from repro.nn.module import Module, Parameter
 
@@ -165,7 +165,7 @@ class GraphAttnPool(Module):
             if self.context_dim == 0:
                 raise ValueError("extra context passed but context_dim=0")
             m = projected.shape[0]
-            tiled = extra.reshape(1, -1) * Tensor(np.ones((m, 1), dtype=projected.data.dtype))
+            tiled = broadcast_to(extra.reshape(1, -1), (m, extra.size))
             scored_input = F.leaky_relu(_concat_rows(projected, tiled), self.negative_slope)
         else:
             scored_input = F.leaky_relu(projected, self.negative_slope)
@@ -224,8 +224,8 @@ class MaskedAttnPool(Module):
         if extra is not None:
             if self.context_dim == 0:
                 raise ValueError("extra context passed but context_dim=0")
-            ones = Tensor(np.ones((batch, seq, 1), dtype=x.data.dtype))
-            tiled = extra.reshape(batch, 1, -1) * ones
+            tiled = broadcast_to(extra.reshape(batch, 1, -1),
+                                 (batch, seq, extra.shape[-1]))
             scored = _concat_last(projected, tiled)
         logits = F.leaky_relu(scored, self.negative_slope) @ self.score_vec  # (batch, seq)
         if mask is not None:

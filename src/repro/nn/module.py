@@ -7,6 +7,7 @@ from typing import Dict, Iterator, List
 import numpy as np
 
 from repro.autograd import Tensor
+from repro.perf.cache import bump_params_version
 
 
 class Parameter(Tensor):
@@ -100,6 +101,7 @@ class Module:
             if p.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}")
             p.data = state[name].astype(p.data.dtype).copy()
+        bump_params_version()
 
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract

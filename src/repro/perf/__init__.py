@@ -1,0 +1,122 @@
+"""``repro.perf`` — the performance layer: encoding caches, fast paths, profiler.
+
+Two independent switches control the hot paths:
+
+* ``cache`` (default **on**) — exact memoization of tokenization, padded
+  slot batches, and frozen-weights LM contexts.  Bitwise-transparent: a
+  cached run produces identical logits to an uncached one.
+* ``fused_forward`` (default **off**) — the batched HierGAT forward that
+  stacks every attribute slot and both record sides into one language-model
+  call instead of ``2K`` per step.  Same modules and masking, but outputs
+  are not identical to the per-slot path: the common padded width shifts the
+  positional encodings of the comparator's right-side segment and
+  reassociates float sums (the paths agree to float tolerance when all
+  slots share one width).  A throughput mode — models trained with it are
+  self-consistent.  Enable it for speed (``make bench-perf`` does).
+
+Environment override: ``REPRO_PERF=0`` disables everything,
+``REPRO_PERF=1`` (or ``full``) enables both switches.
+
+The op-level profiler is always off unless explicitly started; see
+:mod:`repro.perf.profiler`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+
+from repro.perf.cache import (
+    CacheStats,
+    LRUCache,
+    batch_cache,
+    bump_params_version,
+    cache_stats,
+    clear_caches,
+    entity_key,
+    get_cache,
+    instance_token,
+    lm_cache,
+    params_version,
+    reset_stats,
+    resize,
+    token_cache,
+)
+from repro.perf.profiler import PROFILER, OpStats, Profiler, profile, profiler_enabled
+
+__all__ = [
+    "CacheStats", "LRUCache", "OpStats", "Profiler", "PROFILER",
+    "batch_cache", "bump_params_version", "cache_enabled", "cache_stats",
+    "clear_caches", "configure", "disable", "enable", "entity_key",
+    "fused_enabled", "get_cache", "instance_token", "lm_cache",
+    "params_version", "perf_mode",
+    "profile", "profiler_enabled", "reset_stats", "resize", "token_cache",
+]
+
+
+@dataclasses.dataclass
+class PerfConfig:
+    """The active switch settings for the performance layer."""
+
+    cache: bool = True
+    fused_forward: bool = False
+
+
+def _from_env() -> PerfConfig:
+    raw = os.environ.get("REPRO_PERF", "").strip().lower()
+    if raw in ("0", "off", "false"):
+        return PerfConfig(cache=False, fused_forward=False)
+    if raw in ("1", "on", "full", "true"):
+        return PerfConfig(cache=True, fused_forward=True)
+    return PerfConfig()
+
+
+_config = _from_env()
+
+
+def get_config() -> PerfConfig:
+    return _config
+
+
+def cache_enabled() -> bool:
+    return _config.cache
+
+
+def fused_enabled() -> bool:
+    return _config.fused_forward
+
+
+def configure(cache: bool = None, fused_forward: bool = None) -> PerfConfig:
+    """Update individual switches; ``None`` leaves a switch unchanged."""
+    global _config
+    _config = PerfConfig(
+        cache=_config.cache if cache is None else bool(cache),
+        fused_forward=(_config.fused_forward if fused_forward is None
+                       else bool(fused_forward)),
+    )
+    if not _config.cache:
+        clear_caches()
+    return _config
+
+
+def enable() -> PerfConfig:
+    """Turn on every performance feature (cache + fused forward)."""
+    return configure(cache=True, fused_forward=True)
+
+
+def disable() -> PerfConfig:
+    """Turn the whole performance layer off (the measured baseline)."""
+    return configure(cache=False, fused_forward=False)
+
+
+@contextlib.contextmanager
+def perf_mode(cache: bool = None, fused_forward: bool = None):
+    """Temporarily override the switches (restores the previous config)."""
+    global _config
+    previous = _config
+    configure(cache=cache, fused_forward=fused_forward)
+    try:
+        yield _config
+    finally:
+        _config = previous
