@@ -2,13 +2,23 @@
 
 PYTHON ?= python3
 
-.PHONY: install test check bench bench-full bench-perf examples report clean-cache
+.PHONY: install test ci coverage check bench bench-full bench-perf examples report clean-cache
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fast tier: everything except @pytest.mark.slow, for pre-push / CI loops.
+# Runs from a clean checkout (no `make install` needed) via PYTHONPATH.
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
+
+# Line coverage of src/repro over the fast tier (tools/cov.py uses
+# coverage.py when installed, else a built-in settrace fallback).
+coverage:
+	PYTHONPATH=src $(PYTHON) tools/cov.py tests -q -m "not slow"
 
 # Full pre-merge gate: the unit suite plus a profiled end-to-end smoke run.
 check:

@@ -25,6 +25,12 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def state_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -56,6 +62,22 @@ class SGD(Optimizer):
                 grad = self._velocity[i]
             p.data -= self.lr * grad
         bump_params_version()
+
+    def state_dict(self) -> dict:
+        """Mutable state only; parameter identity comes from construction order."""
+        return {
+            "kind": "sgd",
+            "lr": self.lr,
+            "m": [np.zeros_like(p.data) if v is None else v.copy()
+                  for v, p in zip(self._velocity, self.params)],
+            "v": [],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "sgd" or len(state["m"]) != len(self.params):
+            raise ValueError("optimizer state does not match this SGD instance")
+        self.lr = float(state["lr"])
+        self._velocity = [m.copy() for m in state["m"]]
 
 
 class Adam(Optimizer):
@@ -94,6 +116,29 @@ class Adam(Optimizer):
             v_hat = self._v[i] / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         bump_params_version()
+
+    def state_dict(self) -> dict:
+        """Mutable state only (moments, step count, current learning rate).
+
+        The learning rate is included because NaN-rollback recovery halves
+        it mid-run; a resumed run must continue with the halved rate.
+        """
+        return {
+            "kind": "adam",
+            "lr": self.lr,
+            "step": self._step,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if (state.get("kind") != "adam" or len(state["m"]) != len(self.params)
+                or len(state["v"]) != len(self.params)):
+            raise ValueError("optimizer state does not match this Adam instance")
+        self.lr = float(state["lr"])
+        self._step = int(state["step"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
 
 
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:

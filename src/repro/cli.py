@@ -3,6 +3,7 @@
 Commands:
     datasets                      list the available benchmarks
     train --dataset NAME          train a matcher, report test F1, optionally save
+    resume --dataset NAME         continue a killed training run from its checkpoint
     bench EXPERIMENT [...]        regenerate one or more paper tables/figures
     inspect --dataset NAME        print sample pairs and dataset statistics
     profile --dataset NAME        train under the op-level profiler, print hot ops
@@ -55,9 +56,15 @@ def cmd_datasets(_args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
+def cmd_train(args, resume: bool = False) -> int:
     _apply_scale(args)
     from repro.data import load_dataset
+    from repro.reliability import COUNTERS, TrainingKilled
+
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if resume and not checkpoint_dir:
+        print("resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
 
     dataset = load_dataset(args.dataset, dirty=args.dirty)
     print(dataset.summary())
@@ -72,13 +79,44 @@ def cmd_train(args) -> int:
         matcher.fit(collective)
         print(f"test F1 = {matcher.test_f1_collective(collective):.1f}")
         return 0
-    matcher.fit(dataset)
+
+    fit_kwargs = {}
+    if checkpoint_dir:
+        import inspect
+
+        if "checkpoint_dir" not in inspect.signature(matcher.fit).parameters:
+            print(f"matcher {args.matcher!r} does not support checkpointed "
+                  f"training", file=sys.stderr)
+            return 2
+        fit_kwargs = {"checkpoint_dir": checkpoint_dir, "resume": resume}
+    try:
+        matcher.fit(dataset, **fit_kwargs)
+    except TrainingKilled as exc:
+        print(f"training killed: {exc}", file=sys.stderr)
+        print(f"restart with: repro resume --dataset {args.dataset} "
+              f"--checkpoint-dir {checkpoint_dir}", file=sys.stderr)
+        return 3
+    result = getattr(matcher, "train_result", None)
+    if resume and result is not None and result.resumed_from is not None:
+        print(f"resumed from epoch {result.resumed_from} "
+              f"(checkpoint: {checkpoint_dir})")
+    elif resume:
+        print("no usable checkpoint found; trained from scratch")
     print(f"test F1 = {matcher.test_f1(dataset):.1f}")
+    recovered = {k: v for k, v in COUNTERS.as_dict().items() if v}
+    if recovered:
+        print("recovery counters: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(recovered.items())))
     if args.save:
         from repro.persistence import save_matcher
 
         print(f"saved to {save_matcher(matcher, args.save)}")
     return 0
+
+
+def cmd_resume(args) -> int:
+    """Continue a killed ``train --checkpoint-dir`` run bitwise-identically."""
+    return cmd_train(args, resume=True)
 
 
 def cmd_bench(args) -> int:
@@ -158,6 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--dirty", action="store_true")
     train.add_argument("--save", default=None, help="save fitted model to .npz")
     train.add_argument("--fast", action="store_true", help="tiny CI scale")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="write atomic epoch checkpoints here (crash-safe)")
+
+    resume = sub.add_parser(
+        "resume", help="continue a killed training run from its checkpoint")
+    resume.add_argument("--dataset", required=True)
+    resume.add_argument("--matcher", choices=MATCHER_CHOICES, default="hiergat")
+    resume.add_argument("--dirty", action="store_true")
+    resume.add_argument("--save", default=None, help="save fitted model to .npz")
+    resume.add_argument("--fast", action="store_true", help="tiny CI scale")
+    resume.add_argument("--checkpoint-dir", required=True,
+                        help="checkpoint directory of the killed run")
 
     bench = sub.add_parser("bench", help="regenerate paper tables/figures")
     bench.add_argument("experiments", nargs="+")
@@ -186,6 +236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "datasets": cmd_datasets,
         "train": cmd_train,
+        "resume": cmd_resume,
         "bench": cmd_bench,
         "inspect": cmd_inspect,
         "profile": cmd_profile,

@@ -123,8 +123,11 @@ class ContextualEmbedder(Module):
                 # optimizer step or load_state_dict mutates weights.
                 key = (instance_token(self), params_version(),
                        ids.tobytes(), mask.tobytes())
+                expected = ids.shape + (self.lm.dim,)
                 return Tensor(lm_cache().get_or_compute(
-                    key, lambda: self._forward_uncached(ids, mask).data))
+                    key, lambda: self._forward_uncached(ids, mask).data,
+                    validate=lambda v: (isinstance(v, np.ndarray)
+                                        and v.shape == expected)))
         return self._forward_uncached(ids, mask, common_mask, unique_attr_context)
 
     def _forward_uncached(self, ids: np.ndarray, mask: np.ndarray,

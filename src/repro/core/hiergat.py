@@ -297,7 +297,14 @@ class HierGAT(Matcher):
                                          max_value_tokens=self.scale.max_tokens // 2)
         self._num_attributes = num_attributes
 
-    def fit(self, dataset: PairDataset) -> "HierGAT":
+    def fit(self, dataset: PairDataset, checkpoint_dir=None,
+            resume: bool = False) -> "HierGAT":
+        """Train on ``dataset``.
+
+        With ``checkpoint_dir``, every epoch boundary is persisted
+        atomically and ``resume=True`` continues a killed run
+        bitwise-identically (``repro resume`` drives this path).
+        """
         self._build(AttributeEncoder.num_slots(dataset.split.train))
         config = TrainConfig.from_scale(
             self.scale, seed=self.seed,
@@ -306,6 +313,7 @@ class HierGAT(Matcher):
         self.train_result = train_pair_classifier(
             self._network, self._forward,
             dataset.split.train, dataset.split.valid, config,
+            checkpoint_dir=checkpoint_dir, resume=resume,
         )
         if dataset.split.valid:
             valid_scores = self.train_result.best_valid_scores

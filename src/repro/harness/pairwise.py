@@ -17,7 +17,7 @@ from repro.core.hiergat import HierGAT
 from repro.data.magellan import DIRTY_DATASETS, MAGELLAN_DATASETS, load_dataset
 from repro.data.schema import PairDataset
 from repro.data.wdc import WDC_SIZES, load_wdc
-from repro.harness.tables import TableResult, fmt
+from repro.harness.tables import TableResult, fmt, resilient_cell
 from repro.lm.registry import LM_SWEEP
 from repro.matchers.base import Matcher, evaluate_matcher
 from repro.matchers.deeper import DeepERModel
@@ -60,15 +60,19 @@ def run_table4_magellan(datasets: Optional[Sequence[str]] = None,
         jobs += [(name, True) for name in datasets if name in DIRTY_DATASETS]
     for name, dirty in jobs:
         dataset = _load(name, dirty, scale)
-        scores: Dict[str, float] = {}
+        scores: Dict[str, Optional[float]] = {}
         for model_name in models:
-            matcher = PAIRWISE_MODELS[model_name]()
-            scores[model_name] = evaluate_matcher(matcher, dataset)
+            scores[model_name] = resilient_cell(
+                lambda m=model_name: evaluate_matcher(PAIRWISE_MODELS[m](), dataset),
+                description=f"table4:{name}:{model_name}")
         row = [name + (" (dirty)" if dirty else "")]
         row += [fmt(scores.get(m)) for m in models]
-        if "HG" in scores:
-            baselines = [v for k, v in scores.items() if k != "HG"]
-            row.append(fmt(scores["HG"] - max(baselines)) if baselines else "-")
+        if "HG" in models:
+            baselines = [v for k, v in scores.items()
+                         if k != "HG" and v is not None]
+            hg = scores.get("HG")
+            row.append(fmt(hg - max(baselines))
+                       if baselines and hg is not None else "-")
         rows.append(row)
     headers = ["Dataset"] + models + (["ΔF1"] if "HG" in models else [])
     return TableResult(
@@ -97,9 +101,14 @@ def run_table3_language_models(datasets: Optional[Sequence[str]] = None,
         dataset = _load(name, False, scale)
         row = [name]
         for lm in language_models:
-            ditto = evaluate_matcher(DittoModel(language_model=lm), dataset)
-            hg = evaluate_matcher(HierGAT(language_model=lm), dataset)
-            row += [fmt(ditto), fmt(hg), fmt(hg - ditto)]
+            ditto = resilient_cell(
+                lambda lm=lm: evaluate_matcher(DittoModel(language_model=lm), dataset),
+                description=f"table3:{name}:ditto/{lm}")
+            hg = resilient_cell(
+                lambda lm=lm: evaluate_matcher(HierGAT(language_model=lm), dataset),
+                description=f"table3:{name}:hg/{lm}")
+            delta = hg - ditto if (hg is not None and ditto is not None) else None
+            row += [fmt(ditto), fmt(hg), fmt(delta)]
         rows.append(row)
     return TableResult(
         experiment="Table 3",
@@ -125,8 +134,9 @@ def run_figure10_wdc(domains: Optional[Sequence[str]] = None,
             dataset = load_wdc(domain, size=size, scale=scale)
             row = [f"{domain}/{size}", str(len(dataset.split.train))]
             for model_name in models:
-                matcher = PAIRWISE_MODELS[model_name]()
-                row.append(fmt(evaluate_matcher(matcher, dataset)))
+                row.append(fmt(resilient_cell(
+                    lambda m=model_name: evaluate_matcher(PAIRWISE_MODELS[m](), dataset),
+                    description=f"figure10:{domain}/{size}:{model_name}")))
             rows.append(row)
     return TableResult(
         experiment="Figure 10",

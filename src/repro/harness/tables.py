@@ -1,9 +1,40 @@
-"""Result-table formatting shared by all experiment runners."""
+"""Result-table formatting shared by all experiment runners, plus the
+fault-tolerant cell executor every sweep uses: one crashed model/dataset
+cell degrades to a ``-`` placeholder instead of forfeiting the whole table."""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
+
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import CorruptDataFault, TrainingKilled, fault_point
+from repro.reliability.retry import retry_with_backoff
+
+
+def resilient_cell(fn: Callable[[], float],
+                   description: str = "") -> Optional[float]:
+    """Run one experiment cell with retry/degrade semantics.
+
+    Transient IO faults are retried with capped backoff; any other failure
+    degrades the cell to ``None`` — rendered as ``-`` by :func:`fmt` — and
+    increments ``COUNTERS.harness_cell_failures``.  A days-long sweep
+    therefore survives a single poisoned dataset or diverging model.
+    ``TrainingKilled`` is re-raised: a simulated process death must stop
+    the run (resume handles it), not hide inside a blank cell.
+    """
+    def attempt() -> float:
+        if fault_point("harness.cell", description=description) == "corrupt":
+            raise CorruptDataFault(f"injected corrupt cell {description!r}")
+        return fn()
+
+    try:
+        return retry_with_backoff(attempt, description=description)
+    except TrainingKilled:
+        raise
+    except Exception:
+        COUNTERS.harness_cell_failures += 1
+        return None
 
 
 @dataclasses.dataclass

@@ -34,6 +34,9 @@ from repro.config import Scale, get_scale
 from repro.data.schema import EntityPair
 from repro.lm.registry import LANGUAGE_MODELS, PretrainedLM, load_language_model
 from repro.nn import Linear, Module
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import CorruptDataFault, fault_point
+from repro.reliability.retry import retry_with_backoff
 from repro.text.tokenizer import tokenize
 from repro.text.vocab import NAN_TOKEN, Vocabulary
 
@@ -174,12 +177,18 @@ def _read_checkpoint(path: Path) -> Optional[Tuple[Dict[str, np.ndarray], Dict[s
 
     Interrupted writes used to leave truncated ``.npz`` files behind, which
     then crashed every later run with ``zipfile.BadZipFile``.  Any read/parse
-    failure here is treated as "no cache": the bad file is removed and the
-    caller rebuilds it.
+    failure here is treated as "no cache": the bad file is removed, the
+    rebuild is counted in ``COUNTERS.checkpoint_rebuilds``, and the caller
+    rebuilds it.  The ``lm.checkpoint.read`` fault site raises transient IO
+    errors *before* the parse (retried by :func:`load_checkpoint`) and
+    injects corruption inside it.
     """
     import zipfile
 
+    fault_point("lm.checkpoint.read", path=path.name)  # may raise transient
     try:
+        if fault_point("lm.checkpoint.parse", path=path.name) == "corrupt":
+            raise CorruptDataFault(f"injected corrupt checkpoint {path.name}")
         with np.load(path) as data:
             lm_state = {k[3:]: data[k] for k in data.files if k.startswith("lm:")}
             head_state = {k[5:]: data[k] for k in data.files if k.startswith("head:")}
@@ -191,6 +200,7 @@ def _read_checkpoint(path: Path) -> Optional[Tuple[Dict[str, np.ndarray], Dict[s
             path.unlink()
         except OSError:
             pass
+        COUNTERS.checkpoint_rebuilds += 1
         return None
 
 
@@ -203,6 +213,7 @@ def _write_checkpoint(path: Path, lm_state: Dict[str, np.ndarray],
     file even if this process dies mid-write.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
+    fault_point("lm.checkpoint.write", path=path.name)  # may raise transient
     payload = {f"lm:{k}": v for k, v in lm_state.items()}
     payload.update({f"head:{k}": v for k, v in head_state.items()})
     tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
@@ -216,6 +227,12 @@ def _write_checkpoint(path: Path, lm_state: Dict[str, np.ndarray],
         except OSError:
             pass
         raise
+    if fault_point("lm.checkpoint.corrupt", path=path.name) == "corrupt":
+        # Simulated disk corruption *after* the atomic rename — the one
+        # failure atomicity cannot prevent; readers self-heal via
+        # _read_checkpoint.
+        data = path.read_bytes()
+        path.write_bytes(data[: max(16, len(data) // 3)])
 
 
 def load_checkpoint(name: str, scale: Optional[Scale] = None,
@@ -232,10 +249,11 @@ def load_checkpoint(name: str, scale: Optional[Scale] = None,
 
     if key not in _memory_cache:
         path = cache_dir() / f"{key}.npz"
-        states = _read_checkpoint(path) if path.exists() else None
+        states = retry_with_backoff(
+            lambda: _read_checkpoint(path)) if path.exists() else None
         if states is None:
             states = _pretrain(name, scale, steps)
-            _write_checkpoint(path, *states)
+            retry_with_backoff(lambda: _write_checkpoint(path, *states))
         _memory_cache[key] = states
 
     lm_state, head_state = _memory_cache[key]

@@ -56,7 +56,8 @@ class DittoModel(Matcher):
         ids, mask = self._encoder.encode(pairs)
         return self._network(ids, mask)
 
-    def fit(self, dataset: PairDataset) -> "DittoModel":
+    def fit(self, dataset: PairDataset, checkpoint_dir=None,
+            resume: bool = False) -> "DittoModel":
         rng = np.random.default_rng(self.seed)
         lm, head_state = load_checkpoint(self.language_model, self.scale)
         self._network = SequencePairClassifier(lm, rng)
@@ -69,6 +70,7 @@ class DittoModel(Matcher):
         self.train_result = train_pair_classifier(
             self._network, self._forward,
             dataset.split.train, dataset.split.valid, config,
+            checkpoint_dir=checkpoint_dir, resume=resume,
         )
         if dataset.split.valid:
             valid_scores = self.train_result.best_valid_scores

@@ -25,6 +25,19 @@ def _cache_on() -> bool:
     return perf.cache_enabled()
 
 
+def _valid_ids(value) -> bool:
+    """Cache-entry sanity check: a token-id list, not a poisoned payload."""
+    return isinstance(value, list) and all(isinstance(i, int) for i in value[:2])
+
+
+def _valid_batch(value, batch: int) -> bool:
+    """Cache-entry sanity check for padded ``(ids, mask)`` slot batches."""
+    return (isinstance(value, tuple) and len(value) == 2
+            and isinstance(value[0], np.ndarray) and isinstance(value[1], np.ndarray)
+            and value[0].shape == value[1].shape
+            and value[0].shape[0] == batch)
+
+
 def build_vocabulary(dataset: PairDataset, num_oov_buckets: int = 64) -> Tuple[Vocabulary, List[List[str]]]:
     """Vocabulary + corpus from the train and valid splits only.
 
@@ -77,7 +90,8 @@ class PairEncoder:
                 cache.get_or_compute(
                     ("pair", entity_key(p.left), entity_key(p.right),
                      self.max_tokens, vkey),
-                    lambda p=p: self._pair_ids(p))
+                    lambda p=p: self._pair_ids(p),
+                    validate=_valid_ids)
                 for p in pairs
             ]
         else:
@@ -105,7 +119,8 @@ class AttributeEncoder:
             key = ("attr", entity_key(entity), slot, self.max_value_tokens,
                    self.include_key, instance_token(self.vocab))
             return token_cache().get_or_compute(
-                key, lambda: self._attribute_ids(entity, slot))
+                key, lambda: self._attribute_ids(entity, slot),
+                validate=_valid_ids)
         return self._attribute_ids(entity, slot)
 
     def _attribute_ids(self, entity, slot: int) -> List[int]:
@@ -130,7 +145,8 @@ class AttributeEncoder:
                slot, self.max_value_tokens, self.include_key,
                instance_token(self.vocab))
         return batch_cache().get_or_compute(
-            key, lambda: self._encode_slot(pairs, slot, side))
+            key, lambda: self._encode_slot(pairs, slot, side),
+            validate=lambda v: _valid_batch(v, len(pairs)))
 
     def _encode_slot(self, pairs: Sequence[EntityPair], slot: int,
                      side: str) -> Tuple[np.ndarray, np.ndarray]:

@@ -7,9 +7,10 @@ tokenization, padded id/mask batches, and (under ``no_grad`` inference with
 frozen weights) language-model context arrays — so each record is encoded
 once per dataset instead of once per pair per epoch.
 
-Everything in this module is dependency-free (numpy-only values, plain
-Python containers) so it can be imported from the autograd engine, the
-optimizers, and the module system without cycles.
+Everything in this module is dependency-light (numpy-only values, plain
+Python containers, plus the stdlib-only ``repro.reliability`` leaf modules)
+so it can be imported from the autograd engine, the optimizers, and the
+module system without cycles.
 
 Cache entries are exact memoizations: a hit returns the very arrays a miss
 would have computed, so cached and uncached runs are bitwise identical.
@@ -25,6 +26,12 @@ import dataclasses
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import fault_point
+
+#: Sentinel an injected ``poison`` fault stores in place of a cached value.
+_POISONED = object()
+
 
 @dataclasses.dataclass
 class CacheStats:
@@ -33,6 +40,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Cache hits whose value failed validation (or was poisoned) and were
+    #: recomputed via the uncached path instead of failing the run.
+    degraded: int = 0
 
     @property
     def requests(self) -> int:
@@ -49,11 +59,12 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "degraded": self.degraded,
             "hit_rate": round(self.hit_rate, 4),
         }
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.evictions = self.degraded = 0
 
 
 class LRUCache:
@@ -102,7 +113,16 @@ class LRUCache:
             self._data.popitem(last=False)
             self.stats.evictions += 1
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any],
+                       validate: Optional[Callable[[Any], bool]] = None) -> Any:
+        """Memoized ``compute()`` with poisoned-entry degradation.
+
+        A hit whose value fails ``validate`` (or was poisoned by the
+        ``cache.entry`` fault site) is dropped and recomputed through the
+        uncached path — counted in ``stats.degraded`` and the global
+        ``COUNTERS.cache_degraded`` — so a bad cache entry can never fail
+        or corrupt a run.
+        """
         try:
             value = self._data[key]
         except KeyError:
@@ -111,6 +131,17 @@ class LRUCache:
             self.put(key, value)
             return value
         self._data.move_to_end(key)
+        if fault_point("cache.entry", cache=self.name) == "poison":
+            self._data[key] = _POISONED  # the stored entry itself is mangled
+            value = _POISONED
+        if value is _POISONED or (validate is not None and not validate(value)):
+            del self._data[key]
+            self.stats.degraded += 1
+            self.stats.misses += 1
+            COUNTERS.cache_degraded += 1
+            value = compute()
+            self.put(key, value)
+            return value
         self.stats.hits += 1
         return value
 

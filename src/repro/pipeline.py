@@ -19,6 +19,8 @@ import numpy as np
 from repro.blocking.keyword import overlap_blocker
 from repro.data.schema import Entity, EntityPair, PairDataset
 from repro.matchers.base import Matcher
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import retry_with_backoff
 
 
 @dataclasses.dataclass
@@ -52,9 +54,22 @@ class ERPipeline:
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: PairDataset) -> "ERPipeline":
-        """Train the matcher on a labeled benchmark."""
-        self.matcher.fit(dataset)
+    def fit(self, dataset: PairDataset, checkpoint_dir=None,
+            resume: bool = False) -> "ERPipeline":
+        """Train the matcher on a labeled benchmark.
+
+        ``checkpoint_dir``/``resume`` are forwarded to matchers that support
+        crash-safe training (see :func:`repro.core.trainer.train_pair_classifier`);
+        other matchers train as before.
+        """
+        import inspect
+
+        kwargs = {}
+        if checkpoint_dir is not None:
+            accepted = inspect.signature(self.matcher.fit).parameters
+            if "checkpoint_dir" in accepted:
+                kwargs = {"checkpoint_dir": checkpoint_dir, "resume": resume}
+        self.matcher.fit(dataset, **kwargs)
         self._fitted = True
         return self
 
@@ -78,7 +93,13 @@ class ERPipeline:
         matches: List[Tuple[int, int]] = []
         for start in range(0, len(pairs), batch_hint):
             chunk = pairs[start:start + batch_hint]
-            chunk_scores = self.matcher.scores(chunk)
+            # Transient faults (injected or real IO hiccups under the LM
+            # caches) retry with capped backoff instead of failing the batch.
+            def score_chunk(chunk=chunk, start=start):
+                fault_point("pipeline.score", chunk=start)
+                return self.matcher.scores(chunk)
+
+            chunk_scores = retry_with_backoff(score_chunk)
             for (i, j), score in zip(candidates[start:start + batch_hint], chunk_scores):
                 scores[(i, j)] = float(score)
                 if score >= self.matcher.threshold:

@@ -1,0 +1,49 @@
+"""Global recovery counters: how often each degradation path fired.
+
+Every graceful-degradation branch in the pipeline (transient-IO retry,
+NaN-loss rollback, poisoned-cache bypass, corrupt-checkpoint rebuild,
+crash resume, harness cell degradation) increments exactly one counter
+here, so tests — and operators — can assert that a run *recovered* rather
+than silently succeeded.
+
+Stdlib-only on purpose: this module is imported from ``repro.perf.cache``
+and the optimizers, which must stay free of heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class RecoveryCounters:
+    """One counter per documented recovery behaviour."""
+
+    #: Transient IO errors absorbed by retry-with-backoff.
+    transient_retries: int = 0
+    #: Non-finite losses that triggered a rollback to the last good state.
+    nan_rollbacks: int = 0
+    #: Learning-rate halvings applied by NaN rollbacks.
+    lr_halvings: int = 0
+    #: Cache hits that failed validation and fell back to the uncached path.
+    cache_degraded: int = 0
+    #: Corrupt on-disk checkpoints discarded and rebuilt from scratch.
+    checkpoint_rebuilds: int = 0
+    #: Training runs restarted from an epoch-boundary checkpoint.
+    resumes: int = 0
+    #: Corrupt/unreadable *training-state* checkpoints discarded on resume.
+    train_state_discards: int = 0
+    #: Harness cells that exhausted retries and degraded to a blank result.
+    harness_cell_failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def reset(self) -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+#: The process-wide counter instance (reset via ``COUNTERS.reset()`` in tests).
+COUNTERS = RecoveryCounters()

@@ -1,0 +1,164 @@
+"""Deterministic fault injection for the training and evaluation pipeline.
+
+A :class:`FaultPlan` names *where* (an injection site), *what* (a fault
+kind), and *when* (which invocations of that site) faults fire.  Production
+code calls :func:`fault_point` at its instrumented sites; with no active
+plan the call is a single global load and ``is None`` test, so the
+instrumentation is free in normal runs.
+
+Triggering is deterministic: every site keeps a monotonically increasing
+invocation counter, and a spec fires when the counter is in its ``at`` set
+(optionally further restricted by context values such as ``epoch``/``step``).
+Running the same plan against the same code therefore injects the same
+faults at the same points, which is what lets the recovery tests assert
+bitwise-identical resume behaviour.
+
+Fault kinds and their contracts:
+
+``transient``
+    :func:`fault_point` raises :class:`TransientIOFault` (an ``OSError``).
+    Callers are expected to absorb it with
+    :func:`repro.reliability.retry.retry_with_backoff`.
+``corrupt``
+    Returned as the string ``"corrupt"``; the call site mangles its own
+    data (truncate a file, poison a payload) so the *reader-side* recovery
+    path is exercised, not just an exception handler.
+``nan``
+    Returned as ``"nan"``; the trainer substitutes a non-finite loss.
+``kill``
+    :func:`fault_point` raises :class:`TrainingKilled`, simulating the
+    process being OOM-killed mid-epoch.
+``poison``
+    Returned as ``"poison"``; caches replace the stored entry with garbage
+    so validation-and-degrade is exercised.
+
+Stdlib-only on purpose — imported from low-level modules (``perf.cache``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections import Counter
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Kinds that raise from inside :func:`fault_point`.
+_RAISING_KINDS = ("transient", "kill")
+#: Kinds returned to the caller, which applies the damage itself.
+_RETURNED_KINDS = ("corrupt", "nan", "poison")
+KINDS = _RAISING_KINDS + _RETURNED_KINDS
+
+
+class InjectedFault(Exception):
+    """Base class for all injected faults (never raised spontaneously)."""
+
+
+class TransientIOFault(InjectedFault, OSError):
+    """A temporary IO failure; retrying the operation should succeed."""
+
+
+class CorruptDataFault(InjectedFault, ValueError):
+    """Raised by *readers* that detect injected (or real) corruption."""
+
+
+class TrainingKilled(InjectedFault):
+    """Simulates the process dying mid-epoch (SIGKILL / OOM)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: ``kind`` at invocations ``at`` of ``site``.
+
+    ``match`` further restricts firing to invocations whose context (the
+    keyword arguments of the :func:`fault_point` call) contains the given
+    items, e.g. ``{"epoch": 1}`` to only fire during the second epoch.
+    """
+
+    site: str
+    kind: str
+    at: Tuple[int, ...] = (0,)
+    match: Tuple[Tuple[str, int], ...] = ()
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        object.__setattr__(self, "at", tuple(int(i) for i in self.at))
+        object.__setattr__(self, "match", tuple(self.match))
+
+    def matches(self, ctx: Mapping) -> bool:
+        return all(ctx.get(key) == value for key, value in self.match)
+
+
+class FaultPlan:
+    """A deterministic schedule of faults plus bookkeeping of what fired.
+
+    ``triggered`` counts fired faults per ``(site, kind)``; ``invocations``
+    counts how often each site was reached (fired or not), which tests use
+    to pin specs to exact invocation indices.
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...] = (), seed: int = 0):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self.invocations: Counter = Counter()
+        self.triggered: Counter = Counter()
+
+    @classmethod
+    def single(cls, site: str, kind: str, at: Tuple[int, ...] = (0,),
+               **match) -> "FaultPlan":
+        """Convenience constructor for a one-spec plan."""
+        return cls((FaultSpec(site=site, kind=kind, at=at,
+                              match=tuple(match.items())),))
+
+    def check(self, site: str, ctx: Mapping) -> Optional[FaultSpec]:
+        """Advance the site counter; return the spec that fires, if any."""
+        index = self.invocations[site]
+        self.invocations[site] += 1
+        for spec in self.specs:
+            if spec.site == site and index in spec.at and spec.matches(ctx):
+                self.triggered[(site, spec.kind)] += 1
+                return spec
+        return None
+
+    def fired(self, site: str, kind: str) -> int:
+        return self.triggered[(site, kind)]
+
+
+_active_plan: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _active_plan
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan):
+    """Activate ``plan`` for the duration of the block (not reentrant-safe
+    across threads; the pipeline is single-threaded)."""
+    global _active_plan
+    previous = _active_plan
+    _active_plan = plan
+    try:
+        yield plan
+    finally:
+        _active_plan = previous
+
+
+def fault_point(site: str, **ctx) -> Optional[str]:
+    """Instrumented-site hook.  Returns a fault kind to apply, or ``None``.
+
+    Raises :class:`TransientIOFault` / :class:`TrainingKilled` for the
+    raising kinds; returns ``"corrupt"``/``"nan"``/``"poison"`` for the
+    kinds the caller applies itself.
+    """
+    plan = _active_plan
+    if plan is None:
+        return None
+    spec = plan.check(site, ctx)
+    if spec is None:
+        return None
+    if spec.kind == "transient":
+        raise TransientIOFault(f"injected transient IO fault at {site} {ctx or ''}")
+    if spec.kind == "kill":
+        raise TrainingKilled(f"injected kill at {site} {ctx or ''}")
+    return spec.kind

@@ -1,0 +1,61 @@
+"""Retry-with-backoff for transient faults.
+
+The policy is capped exponential backoff: attempt ``n`` sleeps
+``min(base_delay * backoff**n, max_delay)`` before retrying.  Only the
+exception types in ``retry_on`` are retried — anything else (corruption,
+assertion failures, kills) propagates immediately, because retrying a
+deterministic failure just wastes the budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import TransientIOFault
+
+T = TypeVar("T")
+
+#: Exception types treated as transient by default.  ``TransientIOFault``
+#: subclasses ``OSError``, so the injected faults ride the same branch real
+#: IO errors would.
+DEFAULT_TRANSIENT: Tuple[Type[BaseException], ...] = (TransientIOFault, OSError)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff parameters."""
+
+    retries: int = 3          # retry attempts after the first try
+    base_delay: float = 0.01  # seconds before the first retry
+    backoff: float = 2.0      # multiplier per attempt
+    max_delay: float = 0.25   # cap on any single sleep
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (0-based), capped at ``max_delay``."""
+        return min(self.base_delay * (self.backoff ** attempt), self.max_delay)
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_TRANSIENT,
+    sleep: Callable[[float], None] = time.sleep,
+    description: str = "",
+) -> T:
+    """Call ``fn`` until it succeeds or the retry budget is exhausted.
+
+    Each absorbed failure increments ``COUNTERS.transient_retries``.  The
+    final failure re-raises the original exception unchanged.
+    """
+    for attempt in range(policy.retries + 1):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == policy.retries:
+                raise
+            COUNTERS.transient_retries += 1
+            sleep(policy.delay(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,203 @@
+"""Atomic training-state checkpoints for crash-safe deterministic resume.
+
+A :class:`TrainState` captures *everything* the training loop needs to
+continue bitwise-identically from an epoch boundary:
+
+* model parameters (and the best-epoch parameter snapshot),
+* optimizer state (Adam moments, step count, current learning rate —
+  including any NaN-rollback halvings),
+* the trainer's shuffle RNG stream and every module-held dropout RNG,
+* loss / validation-F1 curves and best-epoch bookkeeping,
+* the global ``params_version`` at save time (recorded for provenance;
+  ``load_state_dict`` bumps the live counter on restore, so stale cache
+  entries can never be served after a resume).
+
+Checkpoints are written with the same temp-file + ``os.replace`` discipline
+as the LM checkpoints: readers never observe a partial file, even if the
+process is killed mid-write.  A corrupt or truncated state file is treated
+as "no checkpoint": it is discarded (counted in
+``COUNTERS.train_state_discards``) and the caller starts from scratch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import fault_point
+
+_FORMAT_VERSION = 1
+#: File name inside a checkpoint directory.  One file is enough for both
+#: resume and NaN rollback: states are only written at epoch boundaries, so
+#: the latest checkpoint is always the last *good* state.
+STATE_FILE = "train_state.npz"
+
+
+@dataclasses.dataclass
+class TrainState:
+    """Snapshot of a training run at an epoch boundary."""
+
+    epoch: int                                   # last completed epoch (0-based)
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict                        # see Optimizer.state_dict()
+    trainer_rng: Dict                            # np.random bit_generator state
+    module_rngs: Dict[str, Dict]                 # module index -> rng state
+    losses: List[float]
+    valid_f1: List[float]
+    best_epoch: int
+    best_f1: float
+    best_state: Optional[Dict[str, np.ndarray]]
+    best_scores: Optional[np.ndarray]
+    params_version: int
+    seed: int
+
+
+# ----------------------------------------------------------------------
+# Module RNG streams (dropout draws must survive a resume bitwise).
+# ----------------------------------------------------------------------
+def collect_module_rngs(model) -> Dict[str, Dict]:
+    """Bit-generator states of every ``rng`` held in the module tree.
+
+    Keys are module indices in ``model.modules()`` order, which is stable
+    because module registration order is construction order.
+    """
+    states: Dict[str, Dict] = {}
+    for i, module in enumerate(model.modules()):
+        gen = getattr(module, "rng", None)
+        if isinstance(gen, np.random.Generator):
+            states[str(i)] = gen.bit_generator.state
+    return states
+
+
+def restore_module_rngs(model, states: Dict[str, Dict]) -> None:
+    for i, module in enumerate(model.modules()):
+        gen = getattr(module, "rng", None)
+        if isinstance(gen, np.random.Generator) and str(i) in states:
+            gen.bit_generator.state = states[str(i)]
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _meta_of(state: TrainState) -> dict:
+    return {
+        "format": _FORMAT_VERSION,
+        "epoch": state.epoch,
+        "losses": state.losses,
+        "valid_f1": state.valid_f1,
+        "best_epoch": state.best_epoch,
+        "best_f1": state.best_f1,
+        "trainer_rng": state.trainer_rng,
+        "module_rngs": state.module_rngs,
+        "optimizer_scalars": {k: v for k, v in state.optimizer_state.items()
+                              if k not in ("m", "v")},
+        "params_version": state.params_version,
+        "seed": state.seed,
+        "has_best": state.best_state is not None,
+        "has_scores": state.best_scores is not None,
+    }
+
+
+def save_train_state(directory: Path, state: TrainState) -> Path:
+    """Atomically write ``state`` to ``directory / STATE_FILE``.
+
+    An injected ``corrupt`` fault truncates the file *after* the atomic
+    rename — simulating disk corruption, which atomicity cannot prevent and
+    the reader must therefore survive.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / STATE_FILE
+    fault_point("train.checkpoint.write", epoch=state.epoch)  # may raise transient
+
+    payload = {f"model:{k}": v for k, v in state.model_state.items()}
+    if state.best_state is not None:
+        payload.update({f"best:{k}": v for k, v in state.best_state.items()})
+    if state.best_scores is not None:
+        payload["best_scores"] = np.asarray(state.best_scores)
+    for i, m in enumerate(state.optimizer_state.get("m", [])):
+        payload[f"opt_m:{i}"] = m
+    for i, v in enumerate(state.optimizer_state.get("v", [])):
+        payload[f"opt_v:{i}"] = v
+    payload["meta"] = np.frombuffer(
+        json.dumps(_meta_of(state)).encode(), dtype=np.uint8)
+
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if fault_point("train.checkpoint.corrupt", epoch=state.epoch) == "corrupt":
+        data = path.read_bytes()
+        path.write_bytes(data[: max(16, len(data) // 3)])
+    return path
+
+
+def load_train_state(directory: Path) -> Optional[TrainState]:
+    """Read the checkpoint in ``directory``; ``None`` if absent or corrupt.
+
+    Any parse failure discards the file (it will be overwritten at the next
+    epoch boundary anyway) and increments
+    ``COUNTERS.train_state_discards`` — resume then degrades to a fresh
+    start rather than failing the run.
+    """
+    path = Path(directory) / STATE_FILE
+    if not path.exists():
+        return None
+    fault_point("train.checkpoint.read")  # may raise transient; retried by caller
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+            if meta.get("format") != _FORMAT_VERSION:
+                raise ValueError(f"unknown train-state format {meta.get('format')}")
+            model_state = {k[len("model:"):]: data[k] for k in data.files
+                           if k.startswith("model:")}
+            if not model_state:
+                raise KeyError("train state has no model arrays")
+            best_state = ({k[len("best:"):]: data[k] for k in data.files
+                           if k.startswith("best:")} if meta["has_best"] else None)
+            best_scores = data["best_scores"] if meta["has_scores"] else None
+            m = [data[f"opt_m:{i}"] for i in range(
+                sum(1 for k in data.files if k.startswith("opt_m:")))]
+            v = [data[f"opt_v:{i}"] for i in range(
+                sum(1 for k in data.files if k.startswith("opt_v:")))]
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError,
+            json.JSONDecodeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        COUNTERS.train_state_discards += 1
+        return None
+
+    optimizer_state = dict(meta["optimizer_scalars"])
+    optimizer_state["m"] = m
+    optimizer_state["v"] = v
+    return TrainState(
+        epoch=meta["epoch"],
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        trainer_rng=meta["trainer_rng"],
+        module_rngs=meta["module_rngs"],
+        losses=list(meta["losses"]),
+        valid_f1=list(meta["valid_f1"]),
+        best_epoch=meta["best_epoch"],
+        best_f1=meta["best_f1"],
+        best_state=best_state,
+        best_scores=best_scores,
+        params_version=meta["params_version"],
+        seed=meta["seed"],
+    )

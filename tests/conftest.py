@@ -1,4 +1,11 @@
-"""Shared test fixtures: every test runs at the tiny CI scale."""
+"""Shared test fixtures: every test runs at the tiny CI scale.
+
+Test tiers (see docs/TESTING.md):
+    fast (default)  everything not marked ``slow``; ``make ci`` runs
+                    ``-m "not slow"`` and must finish in well under 120 s.
+    slow            multi-minute integration paths (LM pre-training from
+                    scratch, golden end-to-end pipeline); run by ``make test``.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +13,13 @@ import numpy as np
 import pytest
 
 from repro.config import Scale, set_scale
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running integration test, excluded from `make ci` "
+        "(-m 'not slow')")
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,98 @@
+"""Golden end-to-end regression test.
+
+Runs the full mini pipeline (pre-trained LM checkpoint -> fine-tuning ->
+threshold selection -> test scoring) at the fixed CI scale and seed, and
+compares the loss curve, validation F1, decision threshold, and test F1
+against frozen values in ``tests/golden/end_to_end.json``.
+
+Any unintended change to the data generators, tokenizer, LM, trainer,
+or metrics shows up here even when every unit test still passes.
+
+Updating the golden file (only after verifying a change is intentional):
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+
+then commit the regenerated JSON alongside the change that moved it.
+See docs/TESTING.md for the policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import Scale, get_scale
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "end_to_end.json"
+
+#: Comparison tolerance.  The pipeline is deterministic on one platform;
+#: the tolerance only absorbs cross-platform BLAS reduction differences.
+RTOL = 1e-5
+ATOL = 1e-7
+
+
+def _run_end_to_end() -> dict:
+    from repro.core import HierGAT
+    from repro.data import load_dataset
+    from repro.matchers.ditto import DittoModel
+
+    assert get_scale() == Scale.ci(), "golden values are defined at CI scale"
+    results: dict = {"scale": "ci"}
+    for name, factory in (("hiergat", HierGAT), ("ditto", DittoModel)):
+        dataset = load_dataset("Beer")
+        matcher = factory().fit(dataset)
+        train_result = matcher.train_result
+        results[name] = {
+            "losses": [float(x) for x in train_result.losses],
+            "valid_f1": [float(x) for x in train_result.valid_f1],
+            "best_epoch": int(train_result.best_epoch),
+            "threshold": float(matcher.threshold),
+            "test_f1": float(matcher.test_f1(dataset)),
+            "test_scores_head": [float(s)
+                                 for s in matcher.scores(dataset.split.test[:5])],
+        }
+    return results
+
+
+def test_end_to_end_matches_golden():
+    actual = _run_end_to_end()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "no golden file committed; generate one with "
+        "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden.py")
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    assert actual["scale"] == golden["scale"]
+    for model in ("hiergat", "ditto"):
+        want, got = golden[model], actual[model]
+        assert got["best_epoch"] == want["best_epoch"], model
+        np.testing.assert_allclose(
+            got["losses"], want["losses"], rtol=RTOL, atol=ATOL,
+            err_msg=f"{model}: training loss curve drifted")
+        np.testing.assert_allclose(
+            got["valid_f1"], want["valid_f1"], rtol=RTOL, atol=ATOL,
+            err_msg=f"{model}: validation F1 curve drifted")
+        np.testing.assert_allclose(
+            got["threshold"], want["threshold"], rtol=RTOL, atol=ATOL,
+            err_msg=f"{model}: decision threshold drifted")
+        np.testing.assert_allclose(
+            got["test_f1"], want["test_f1"], rtol=RTOL, atol=ATOL,
+            err_msg=f"{model}: test F1 drifted")
+        np.testing.assert_allclose(
+            got["test_scores_head"], want["test_scores_head"],
+            rtol=RTOL, atol=ATOL,
+            err_msg=f"{model}: test score distribution drifted")
+
+
+def test_end_to_end_is_rerun_deterministic():
+    """Two runs in one process must agree bitwise — the precondition for
+    the golden comparison to be meaningful at tight tolerance."""
+    a, b = _run_end_to_end(), _run_end_to_end()
+    assert a == b

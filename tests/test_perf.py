@@ -190,6 +190,139 @@ def test_fused_forward_matches_per_slot_on_uniform_width():
     np.testing.assert_allclose(fused, per_slot, atol=1e-5, rtol=1e-4)
 
 
+def _fitted_hiergat_slots():
+    """A fitted HierGAT plus raw slot inputs for a small test batch."""
+    from repro.core.hiergat import HierGAT
+    from repro.data.magellan import load_dataset
+
+    ds = load_dataset("Beer")       # multi-attribute: slot widths differ
+    matcher = HierGAT()
+    with perf.perf_mode(cache=True, fused_forward=False):
+        matcher.fit(ds)
+    pairs = ds.split.test[:8]
+    slots = [
+        (matcher._encoder.encode_slot(pairs, k, "left"),
+         matcher._encoder.encode_slot(pairs, k, "right"))
+        for k in range(matcher._num_attributes)
+    ]
+    return matcher, slots
+
+
+def _pad_slots_to_common_width(slots, pad_id):
+    """Pre-pad every slot batch to the fused megabatch width W."""
+    width = max(ids.shape[1] for left, right in slots for ids, _ in (left, right))
+
+    def pad(ids, mask):
+        out_ids = np.full((ids.shape[0], width), pad_id, dtype=ids.dtype)
+        out_ids[:, : ids.shape[1]] = ids
+        out_mask = np.zeros((mask.shape[0], width), dtype=bool)
+        out_mask[:, : mask.shape[1]] = mask
+        return out_ids, out_mask
+
+    return [(pad(*left), pad(*right)) for left, right in slots]
+
+
+def test_fused_nonuniform_divergence_is_exactly_the_padding_width():
+    """Pin the documented per-slot vs fused divergence to its single cause.
+
+    With non-uniform slot widths the two paths legitimately differ (the
+    common width W changes positional encodings and float reassociation —
+    see HierGATNetwork._forward_fused).  Pre-padding every slot to W removes
+    that one difference, and then the per-slot path must agree with the
+    fused path to float tolerance.  If this test fails, the fused stacking
+    itself (not the padding) has drifted."""
+    from repro.autograd import no_grad
+
+    matcher, slots = _fitted_hiergat_slots()
+    net = matcher._network
+    net.eval()
+    widths = sorted({ids.shape[1] for left, right in slots
+                     for ids, _ in (left, right)})
+    assert len(widths) > 1, "Beer slots must have non-uniform widths"
+
+    with no_grad():
+        with perf.perf_mode(fused_forward=False):
+            per_slot = net(slots).data
+        fused = net._forward_fused(slots).data
+        padded = _pad_slots_to_common_width(slots, net.context.lm.vocab.pad_id)
+        with perf.perf_mode(fused_forward=False):
+            per_slot_padded = net(padded).data
+        fused_padded = net._forward_fused(padded).data
+
+    # The divergence exists (this is the documented behaviour, not a bug)...
+    assert not np.allclose(per_slot, fused, atol=1e-6)
+    # ...and disappears entirely once widths are uniform: both pairs of
+    # paths now see identical (ids, mask) content.
+    np.testing.assert_allclose(per_slot_padded, fused, atol=1e-5, rtol=1e-4)
+    np.testing.assert_allclose(fused_padded, fused, atol=1e-5, rtol=1e-4)
+
+
+def test_both_paths_share_the_same_width_sensitivity():
+    """Documents the root cause of the per-slot vs fused divergence.
+
+    Outputs are a function of the *padded* width, on both paths: the
+    attribute comparator concatenates the left and right token sequences,
+    so the right segment's positional encodings shift with the (padded)
+    left width.  Widening every slot by a few all-pad columns therefore
+    changes the output of the per-slot path AND the fused path — this is
+    not a masking bug in the fused stacking, it is a property of the model
+    the fused common width W merely exposes."""
+    from repro.autograd import no_grad
+
+    matcher, slots = _fitted_hiergat_slots()
+    net = matcher._network
+    net.eval()
+    pad_id = net.context.lm.vocab.pad_id
+
+    def widen(ids, mask, extra):
+        out_ids = np.full((ids.shape[0], ids.shape[1] + extra), pad_id,
+                          dtype=ids.dtype)
+        out_ids[:, : ids.shape[1]] = ids
+        out_mask = np.zeros((mask.shape[0], mask.shape[1] + extra), dtype=bool)
+        out_mask[:, : mask.shape[1]] = mask
+        return out_ids, out_mask
+
+    widened = [(widen(*left, 3), widen(*right, 3)) for left, right in slots]
+    with no_grad():
+        with perf.perf_mode(fused_forward=False):
+            per_slot, per_slot_wide = net(slots).data, net(widened).data
+        fused, fused_wide = (net._forward_fused(slots).data,
+                             net._forward_fused(widened).data)
+    assert not np.allclose(per_slot_wide, per_slot, atol=1e-6)
+    assert not np.allclose(fused_wide, fused, atol=1e-6)
+    # Same-width inputs still agree across paths — the sensitivity is to
+    # width, never to the fused stacking itself.
+    uniform = _pad_slots_to_common_width(widened, pad_id)
+    with no_grad():
+        with perf.perf_mode(fused_forward=False):
+            a = net(uniform).data
+        b = net._forward_fused(uniform).data
+    np.testing.assert_allclose(a, b, atol=1e-5, rtol=1e-4)
+
+
+def test_fused_nonuniform_backward_produces_finite_grads():
+    """The fused path must be trainable on ragged slot widths: backward
+    reaches every parameter with finite gradients."""
+    from repro.autograd import functional as F
+
+    matcher, slots = _fitted_hiergat_slots()
+    net = matcher._network
+    net.train()
+    logits = net._forward_fused(slots)
+    labels = np.array([i % 2 for i in range(logits.shape[0])])
+    loss = F.cross_entropy(logits, labels)
+    assert np.isfinite(loss.item())
+    for p in net.parameters():
+        p.grad = None
+    loss.backward()
+    touched = sum(p.grad is not None for p in net.parameters())
+    assert touched > 0
+    for p in net.parameters():
+        if p.grad is not None:
+            assert np.all(np.isfinite(p.grad))
+    net.eval()
+
+
 def test_perf_mode_restores_previous_config():
     before = perf.get_config()
     with perf.perf_mode(cache=False, fused_forward=True):

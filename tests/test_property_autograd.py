@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays, array_shapes
 
-from repro.autograd import Tensor, concat, functional as F, stack
+from repro.autograd import (
+    Tensor, broadcast_to, concat, functional as F, gradcheck, no_grad, stack,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -137,3 +139,167 @@ class TestLossProperties:
         pos = F.binary_cross_entropy_with_logits(Tensor(data), np.ones(len(data)))
         neg = F.binary_cross_entropy_with_logits(Tensor(-data), np.zeros(len(data)))
         np.testing.assert_allclose(pos.item(), neg.item(), rtol=1e-8)
+
+
+def _grad_tensor(data) -> Tensor:
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+def _away_from(data: np.ndarray, points, margin: float) -> np.ndarray:
+    """Nudge values off non-differentiable points so central differences
+    (which probe ``x ± eps``) never straddle a kink."""
+    out = data.copy()
+    for p in points:
+        near = np.abs(out - p) < margin
+        out[near] = p + margin * np.where(out[near] >= p, 1.0, -1.0)
+    return out
+
+
+class TestCentralDifferenceGrads:
+    """Numerical gradcheck for the autograd ops no other suite covers:
+    broadcasting (explicit and implicit), max reductions, clip/masked_fill
+    kinks, pow/div, fixed-mask dropout, and mse_loss."""
+
+    @given(finite_arrays(max_dims=2, max_side=4))
+    @settings(max_examples=15, deadline=None)
+    def test_broadcast_to_gradcheck(self, data):
+        x = _grad_tensor(data)
+        assert gradcheck(lambda a: broadcast_to(a, (3,) + data.shape), [x])
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_implicit_broadcast_add_mul_gradcheck(self, n, m, seed):
+        """(n,1) ⊕ (m,) broadcasting must reduce gradients back correctly."""
+        rng = np.random.default_rng(seed)
+        a = _grad_tensor(rng.standard_normal((n, 1)))
+        b = _grad_tensor(rng.standard_normal(m))
+        assert gradcheck(lambda x, y: x * y + x - y, [a, b])
+
+    @given(st.integers(1, 4), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_broadcast_division_gradcheck(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = _grad_tensor(rng.standard_normal((n, 3)))
+        denom = rng.standard_normal(3)
+        b = _grad_tensor(denom + np.where(denom >= 0, 0.5, -0.5))
+        assert gradcheck(lambda x, y: x / y, [a, b])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_over_tensor_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(np.abs(rng.standard_normal((2, 3))) + 0.5)
+        assert gradcheck(lambda a: 2.0 / a, [x])
+
+    @given(st.sampled_from([2.0, 3.0, 0.5, -1.0]), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_pow_gradcheck(self, exponent, seed):
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(np.abs(rng.standard_normal((3, 2))) + 0.5)
+        assert gradcheck(lambda a: a ** exponent, [x])
+
+    @given(st.sampled_from([None, 0, 1]), st.booleans(), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_max_gradcheck_unique_values(self, axis, keepdims, seed):
+        """With all-distinct entries max is differentiable; the gradient
+        must land exactly on the argmax."""
+        rng = np.random.default_rng(seed)
+        data = rng.permutation(12).astype(np.float64).reshape(3, 4)
+        x = _grad_tensor(data)
+        if axis is None and not keepdims:
+            assert gradcheck(lambda a: a.max(), [x])
+        else:
+            assert gradcheck(lambda a: a.max(axis=axis, keepdims=keepdims), [x])
+
+    def test_max_axis_ties_split_gradient(self):
+        """The documented tie convention: equal split among row maxima."""
+        x = _grad_tensor([[3.0, 3.0, 1.0], [1.0, 2.0, 2.0]])
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0], [0.0, 0.5, 0.5]])
+
+    @given(finite_arrays(max_dims=2, max_side=4))
+    @settings(max_examples=15, deadline=None)
+    def test_clip_gradcheck_off_boundary(self, data):
+        x = _grad_tensor(_away_from(data, (-5.0, 5.0), 1e-3))
+        assert gradcheck(lambda a: a.clip(-5.0, 5.0), [x])
+
+    @given(finite_arrays(max_dims=2, max_side=4))
+    @settings(max_examples=15, deadline=None)
+    def test_abs_gradcheck_off_zero(self, data):
+        x = _grad_tensor(_away_from(data, (0.0,), 1e-3))
+        assert gradcheck(lambda a: a.abs(), [x])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_masked_fill_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal((3, 4)))
+        mask = rng.random((3, 4)) < 0.4
+        assert gradcheck(lambda a: F.masked_fill(a, mask, -9.0), [x])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_dropout_fixed_mask_gradcheck(self, seed):
+        """Re-seeding per call makes the mask a pure function of shape, so
+        training-mode dropout is gradcheckable: grad == mask/(1-p)."""
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal((3, 4)))
+        assert gradcheck(
+            lambda a: F.dropout(a, 0.5, training=True,
+                                rng=np.random.default_rng(seed)), [x])
+
+    def test_dropout_eval_is_identity_passthrough(self):
+        x = _grad_tensor(np.arange(6, dtype=np.float64).reshape(2, 3))
+        out = F.dropout(x, 0.9, training=False)
+        assert out is x  # eval fast path returns the input untouched
+        assert gradcheck(lambda a: F.dropout(a, 0.9, training=False), [x])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_mse_loss_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal(5))
+        target = rng.standard_normal(5)
+        assert gradcheck(lambda a: F.mse_loss(a, target), [x])
+
+
+class TestNoGradFastPath:
+    """The inference fast path (Tensor._make under ``no_grad``) must change
+    only graph bookkeeping, never values."""
+
+    @given(finite_arrays(max_dims=2, max_side=5))
+    @settings(max_examples=25, deadline=None)
+    def test_values_identical_with_and_without_grad(self, data):
+        def compute(x):
+            return (F.relu(x * 2.0 + 1.0).sum() + x.abs().mean())
+
+        with_grad = compute(_grad_tensor(data)).item()
+        with no_grad():
+            without = compute(_grad_tensor(data)).item()
+        assert with_grad == without  # bitwise: same ops, same dtype
+
+    def test_requires_grad_suppressed_inside_no_grad(self):
+        with no_grad():
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = x * 2.0
+        assert not x.requires_grad
+        assert not y.requires_grad
+        assert y._parents == ()  # fast path records no graph
+
+    def test_graph_outside_unaffected_by_no_grad_detour(self):
+        x = _grad_tensor(np.array([1.0, 2.0, 3.0]))
+        y = x * 3.0
+        with no_grad():
+            detour = (y * 100.0).sum()  # reads graph tensors, records nothing
+        assert not detour.requires_grad
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0, 3.0])
+
+    def test_nested_no_grad_restores_state(self):
+        with no_grad():
+            with no_grad():
+                pass
+            inner = Tensor(np.ones(2), requires_grad=True)
+            assert not inner.requires_grad
+        outer = Tensor(np.ones(2), requires_grad=True)
+        assert outer.requires_grad
