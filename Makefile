@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test ci coverage check bench bench-full bench-perf examples report clean-cache
+.PHONY: install test lint ci coverage check bench bench-full bench-perf examples report clean-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,9 +10,14 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Invariant lint: the determinism/gradient rule pack in src/repro/analysis
+# (rule catalog in docs/ANALYSIS.md).  Exit 0 means the tree is clean.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
+
 # Fast tier: everything except @pytest.mark.slow, for pre-push / CI loops.
 # Runs from a clean checkout (no `make install` needed) via PYTHONPATH.
-ci:
+ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 
 # Line coverage of src/repro over the fast tier (tools/cov.py uses

@@ -8,9 +8,18 @@ Top-level convenience imports::
 
 __version__ = "1.0.0"
 
+import os as _os
+
 from repro.config import Scale, get_scale, set_scale
 
 __all__ = ["Scale", "get_scale", "set_scale", "__version__"]
+
+if _os.environ.get("REPRO_SANITIZE", "").strip().lower() in ("1", "on", "true", "yes"):
+    # Opt-in write-sanitizer: freeze graph-visible arrays so in-place
+    # mutation raises at the offending line (see docs/ANALYSIS.md).
+    from repro.analysis import sanitizer as _sanitizer
+
+    _sanitizer.enable()
 
 
 def __getattr__(name):

@@ -1,0 +1,39 @@
+"""``repro.analysis`` — static invariant lint engine + runtime write-sanitizer.
+
+Two enforcement layers for the repo's determinism and gradient contracts
+(see ``docs/ANALYSIS.md`` for the catalog):
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an AST
+  linter (``repro lint`` / ``make lint``) with rules R001–R005 covering
+  nondeterminism sources, in-place graph mutation, gradcheck coverage,
+  fault-site hygiene, and cache-key completeness.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime mode
+  (``REPRO_SANITIZE=1``) that freezes graph-visible numpy arrays so any
+  in-place write raises at the offending line.
+"""
+
+from repro.analysis.engine import (
+    Analyzer,
+    FileContext,
+    Finding,
+    Project,
+    ProjectRule,
+    Report,
+    Rule,
+    dotted_name,
+)
+from repro.analysis.rules import default_rules
+from repro.analysis import sanitizer
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "Project",
+    "ProjectRule",
+    "Report",
+    "Rule",
+    "default_rules",
+    "dotted_name",
+    "sanitizer",
+]

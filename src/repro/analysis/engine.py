@@ -1,0 +1,341 @@
+"""Pluggable AST-based static-analysis engine for the repo's invariants.
+
+The engine walks Python sources, hands each file (and, for cross-file rules,
+the whole project) to a set of :class:`Rule` objects, and collects
+:class:`Finding`\\ s.  Findings can be suppressed per line with::
+
+    risky_statement()  # repro: noqa[R002] -- justification for the reader
+
+Suppressions must name the rule id; a bare ``noqa`` never silences anything,
+and the engine counts what it suppressed so a report is never silently
+smaller than the tree deserves.
+
+Output comes in two shapes: a human ``path:line:col RULE message`` listing
+and a versioned JSON document (``Report.to_json``) for tooling.  The rule
+pack encoding this repo's determinism and gradient contracts lives in
+:mod:`repro.analysis.rules`; the engine itself knows nothing about any
+specific invariant, so new rules are plain subclasses (see
+``docs/ANALYSIS.md`` for a walkthrough).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+SEVERITIES = ("error", "warning")
+
+#: Matches the suppression comment: rule ids in brackets after "repro: noqa",
+#: optionally followed by a "-- reason" justification (syntax shown in the
+#: module docstring above; spelled obliquely here so this line is not itself
+#: parsed as a suppression).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+#: Rule id used for files the engine cannot parse.
+PARSE_ERROR_RULE = "E000"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str  # root-relative posix path
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """A parsed source file plus the lookups rules keep needing.
+
+    Lazily computes a child→parent node map (``parent()``), the set of
+    imported module names, and the per-line noqa suppressions.
+    """
+
+    def __init__(self, root: Path, path: Path, source: str):
+        self.root = root
+        self.path = path
+        self.source = source
+        self.rel = path.relative_to(root).as_posix()
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self._parents: Optional[Dict[int, ast.AST]] = None
+        self._noqa: Optional[Dict[int, Set[str]]] = None
+        self._imports: Optional[Set[str]] = None
+
+    # -- structure ------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            if self.tree is not None:
+                for outer in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(outer):
+                        self._parents[id(child)] = outer
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        seen = node
+        while True:
+            up = self.parent(seen)
+            if up is None:
+                return
+            yield up
+            seen = up
+
+    @property
+    def imported_modules(self) -> Set[str]:
+        """Top-level module names bound by import statements."""
+        if self._imports is None:
+            self._imports = set()
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    if isinstance(node, ast.Import):
+                        for alias in node.names:
+                            self._imports.add((alias.asname or alias.name).split(".")[0])
+                    elif isinstance(node, ast.ImportFrom) and node.module:
+                        self._imports.add(node.module.split(".")[0])
+        return self._imports
+
+    # -- suppressions ---------------------------------------------------
+    def noqa_rules(self, line: int) -> Set[str]:
+        """Rule ids suppressed on the given 1-based source line."""
+        if self._noqa is None:
+            self._noqa = {}
+            for i, text in enumerate(self.lines, start=1):
+                match = _NOQA_RE.search(text)
+                if match:
+                    self._noqa[i] = {
+                        r.strip() for r in match.group(1).split(",") if r.strip()
+                    }
+        return self._noqa.get(line, set())
+
+    # -- finding factory ------------------------------------------------
+    def finding(self, rule: "Rule", node: Union[ast.AST, int],
+                message: str) -> Finding:
+        line, col = (node, 0) if isinstance(node, int) else (node.lineno, node.col_offset)
+        return Finding(rule=rule.id, severity=rule.severity, path=self.rel,
+                       line=line, col=col, message=message)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class for per-file rules.
+
+    Subclasses set ``id`` / ``name`` / ``description`` and implement
+    :meth:`check`, yielding findings for one parsed file.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+
+class ProjectRule(Rule):
+    """A rule that needs cross-file context (registries, test coverage)."""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        return ()
+
+
+class Project:
+    """Loader/cache of :class:`FileContext`\\ s rooted at the repo root.
+
+    Project rules use this to read files outside the linted path set
+    (``tests/``, registries) without re-parsing anything twice.
+    """
+
+    def __init__(self, root: Path, contexts: Sequence[FileContext] = ()):
+        self.root = Path(root)
+        self._contexts: Dict[str, FileContext] = {c.rel: c for c in contexts}
+
+    @property
+    def linted(self) -> List[FileContext]:
+        return list(self._contexts.values())
+
+    def context(self, rel: str) -> Optional[FileContext]:
+        """The parsed file at a root-relative path, or None if absent."""
+        if rel in self._contexts:
+            return self._contexts[rel]
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        ctx = FileContext(self.root, path, path.read_text())
+        self._contexts[rel] = ctx
+        return ctx
+
+    def walk(self, rel_dir: str) -> List[FileContext]:
+        """Parsed contexts for every ``.py`` file under a root-relative dir."""
+        base = self.root / rel_dir
+        out: List[FileContext] = []
+        if base.is_dir():
+            for path in sorted(base.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                ctx = self.context(path.relative_to(self.root).as_posix())
+                if ctx is not None:
+                    out.append(ctx)
+        return out
+
+    def read_all(self, rel_dir: str, suffix: str = ".py") -> Dict[str, str]:
+        """Raw text of every matching file under a root-relative dir."""
+        base = self.root / rel_dir
+        out: Dict[str, str] = {}
+        if base.is_dir():
+            for path in sorted(base.rglob(f"*{suffix}")):
+                if "__pycache__" not in path.parts:
+                    out[path.relative_to(self.root).as_posix()] = path.read_text()
+        return out
+
+
+@dataclasses.dataclass
+class Report:
+    """The outcome of one analyzer run."""
+
+    findings: List[Finding]
+    files: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings survived suppression."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    def summary(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "files": self.files,
+                "findings": [f.as_dict() for f in self.findings],
+                "summary": self.summary(),
+                "suppressed": self.suppressed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def human(self) -> str:
+        if not self.findings:
+            extra = f", {self.suppressed} suppressed" if self.suppressed else ""
+            return f"clean: {self.files} files, 0 findings{extra}"
+        out = [f"{f.location} {f.rule} [{f.severity}] {f.message}"
+               for f in self.findings]
+        parts = ", ".join(f"{r}×{n}" for r, n in self.summary().items())
+        out.append(f"{len(self.findings)} finding(s) in {self.files} files "
+                   f"({parts}); {self.suppressed} suppressed")
+        return "\n".join(out)
+
+
+class Analyzer:
+    """Runs a rule pack over a set of paths below a repo root."""
+
+    def __init__(self, root: Union[str, Path], rules: Optional[Sequence[Rule]] = None):
+        self.root = Path(root).resolve()
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+
+    # -- path expansion -------------------------------------------------
+    def _expand(self, paths: Sequence[Union[str, Path]]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            if path.is_dir():
+                files.extend(
+                    p for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            elif path.suffix == ".py" and path.is_file():
+                files.append(path)
+        seen: Set[Path] = set()
+        unique = []
+        for f in files:
+            if f not in seen:
+                seen.add(f)
+                unique.append(f)
+        return unique
+
+    # -- main entry -----------------------------------------------------
+    def run(self, paths: Sequence[Union[str, Path]]) -> Report:
+        contexts = [
+            FileContext(self.root, path, path.read_text())
+            for path in self._expand(paths)
+        ]
+        project = Project(self.root, contexts)
+
+        findings: List[Finding] = []
+        for ctx in contexts:
+            if ctx.parse_error is not None:
+                findings.append(Finding(
+                    rule=PARSE_ERROR_RULE, severity="error", path=ctx.rel,
+                    line=ctx.parse_error.lineno or 1, col=0,
+                    message=f"syntax error: {ctx.parse_error.msg}"))
+                continue
+            for rule in self.rules:
+                findings.extend(rule.check(ctx))
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(project))
+
+        kept: List[Finding] = []
+        suppressed = 0
+        for f in findings:
+            ctx = project.context(f.path)
+            if ctx is not None and f.rule in ctx.noqa_rules(f.line):
+                suppressed += 1
+            else:
+                kept.append(f)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return Report(findings=kept, files=len(contexts), suppressed=suppressed)

@@ -1,0 +1,814 @@
+"""The rule pack: this repo's determinism and gradient contracts as code.
+
+Each rule encodes one invariant from ``docs/TESTING.md`` that previously
+lived as prose.  Rationale, examples, and the suppression policy are
+documented per rule in ``docs/ANALYSIS.md``; the short version:
+
+* **R001** — no hidden nondeterminism sources (module-level numpy RNG,
+  ``random.*``, wall-clock reads outside ``perf/``, set-order iteration).
+* **R002** — no in-place numpy mutation of arrays that are Tensor payloads,
+  captured by backward closures, or already handed to a Tensor constructor.
+* **R003** — every differentiable op must have a central-difference
+  gradcheck in the autograd test files (registry diff, cross-file).
+* **R004** — every ``fault_point`` site is unique, registered in
+  ``reliability.faults.KNOWN_SITES``, and exercised by a test.
+* **R005** — weight-dependent cache entries must key on ``params_version``
+  (and never on ``id()``).
+
+All rules are static AST analyses: no file is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    Project,
+    ProjectRule,
+    Rule,
+    dotted_name,
+)
+
+# ----------------------------------------------------------------------
+# R001 — nondeterminism sources
+# ----------------------------------------------------------------------
+
+#: ``np.random`` attributes that are deterministic machinery, not draws from
+#: the hidden global stream.
+_NP_RANDOM_OK = {
+    "Generator", "SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM",
+    "Philox", "MT19937", "SFC64", "default_rng",
+}
+
+#: Wall-clock reads; allowed only under ``perf/`` (the profiler owns timing).
+_CLOCK_READS = {
+    "time", "perf_counter", "monotonic", "process_time",
+    "time_ns", "perf_counter_ns", "monotonic_ns", "process_time_ns",
+}
+
+
+def _is_rng_fallback(ctx: FileContext, call: ast.Call) -> bool:
+    """True for the sanctioned ``rng = rng or np.random.default_rng()`` shape.
+
+    An unseeded generator is allowed only as the explicit fallback of an
+    ``rng``-style parameter (``x or default_rng()`` / ``... if param ...``):
+    the nondeterminism is then the caller's documented opt-in, not a hidden
+    global stream.
+    """
+    func_params: Set[str] = set()
+    for up in ctx.ancestors(call):
+        if isinstance(up, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = up.args
+            for a in (args.posonlyargs + args.args + args.kwonlyargs):
+                func_params.add(a.arg)
+            break
+    if not func_params:
+        return False
+    for up in ctx.ancestors(call):
+        if isinstance(up, (ast.BoolOp, ast.IfExp)):
+            for node in ast.walk(up):
+                if isinstance(node, ast.Name) and node.id in func_params:
+                    return True
+        if isinstance(up, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            break
+    return False
+
+
+class NondeterminismRule(Rule):
+    """R001: all randomness must flow through seeded, owned Generators and
+    all timing through ``repro.perf``."""
+
+    id = "R001"
+    name = "no-hidden-nondeterminism"
+    description = (
+        "no module-level numpy RNG, stdlib random, unseeded default_rng "
+        "outside an rng-parameter fallback, wall-clock reads outside perf/, "
+        "or iteration over set displays"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_perf = "perf" in ctx.rel.split("/")
+        imports = ctx.imported_modules
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, in_perf, imports)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                it = node.iter
+                if isinstance(it, ast.Set) or (
+                    isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id in ("set", "frozenset")
+                ):
+                    yield ctx.finding(
+                        self, it,
+                        "iteration order of a set is hash-salted and "
+                        "nondeterministic; sort it (sorted(...)) before "
+                        "iterating")
+
+    def _check_call(self, ctx: FileContext, node: ast.Call, in_perf: bool,
+                    imports: Set[str]) -> Iterator[Finding]:
+        full = dotted_name(node.func)
+        if full is None:
+            return
+        head, _, leaf = full.rpartition(".")
+        if head in ("np.random", "numpy.random"):
+            if leaf == "default_rng":
+                if not node.args and not node.keywords and \
+                        not _is_rng_fallback(ctx, node):
+                    yield ctx.finding(
+                        self, node,
+                        "unseeded np.random.default_rng() outside an "
+                        "rng-parameter fallback; thread a seeded Generator "
+                        "from the owning object")
+            elif leaf not in _NP_RANDOM_OK:
+                yield ctx.finding(
+                    self, node,
+                    f"np.random.{leaf} draws from the hidden global numpy "
+                    f"RNG; use a seeded np.random.Generator owned by the "
+                    f"consumer")
+        elif head == "random" and "random" in imports:
+            yield ctx.finding(
+                self, node,
+                f"random.{leaf} uses the process-global stdlib RNG; use a "
+                f"seeded np.random.Generator instead")
+        elif head == "time" and leaf in _CLOCK_READS and not in_perf:
+            yield ctx.finding(
+                self, node,
+                f"time.{leaf}() outside repro/perf; wall-clock reads belong "
+                f"to the perf layer (use repro.perf.profiler.wall_clock)")
+        elif head == "" and leaf in _CLOCK_READS and not in_perf:
+            # `from time import perf_counter` style.
+            for imp in ast.walk(ctx.tree):
+                if isinstance(imp, ast.ImportFrom) and imp.module == "time" \
+                        and any(a.name == leaf for a in imp.names):
+                    yield ctx.finding(
+                        self, node,
+                        f"{leaf}() (from time) outside repro/perf; use "
+                        f"repro.perf.profiler.wall_clock")
+                    break
+
+
+# ----------------------------------------------------------------------
+# R002 — in-place mutation of graph-visible arrays
+# ----------------------------------------------------------------------
+
+_MUTATING_METHODS = {
+    "sort", "fill", "shuffle", "partition", "resize", "put", "itemset",
+    "setfield", "byteswap",
+}
+_MUTATING_NP_FUNCS = {"copyto", "put", "place", "putmask"}
+#: Calls that produce a fresh array, breaking the aliasing chain.
+_CLEANSING_CALLS = {
+    "copy", "array", "zeros_like", "ones_like", "empty_like", "full_like",
+    "zeros", "ones", "full", "empty", "arange",
+}
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """Leftmost Name of a Name/Attribute/Subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _chain_has_payload(node: ast.AST) -> bool:
+    """True if the access chain passes through a ``.data`` / ``.grad``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr in ("data", "grad"):
+            return True
+        node = node.value
+    return False
+
+
+def _expr_aliases_payload(node: ast.AST) -> bool:
+    """True if an expression may alias a Tensor payload: it mentions a
+    ``.data``/``.grad`` attribute and contains no fresh-array call."""
+    has_payload = False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in ("data", "grad"):
+            has_payload = True
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name and name.rpartition(".")[2] in _CLEANSING_CALLS:
+                return False
+    return has_payload
+
+
+def _scope_nodes(body: List[ast.AST]) -> Iterator[ast.AST]:
+    """Nodes in these statements, not descending into nested scopes.
+
+    Nested ``FunctionDef``/``Lambda`` nodes themselves ARE yielded (so a
+    caller can register them), but their bodies belong to the nested scope
+    and are skipped — walking them here would double-count their contents.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _binding_names(target: ast.AST) -> Iterator[str]:
+    """Names a target *binds* — plain names and unpacking patterns only.
+    ``x[0] = ...`` / ``x.attr = ...`` mutate, they do not bind ``x``."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _binding_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _assigned_names(scope: ast.AST) -> Set[str]:
+    """Names bound inside a function/lambda body (its locals)."""
+    names: Set[str] = set()
+    if isinstance(scope, ast.Lambda):
+        body: List[ast.AST] = [scope.body]
+        for a in scope.args.args + scope.args.posonlyargs + scope.args.kwonlyargs:
+            names.add(a.arg)
+    else:
+        body = list(scope.body)
+        for a in (scope.args.args + scope.args.posonlyargs
+                  + scope.args.kwonlyargs):
+            names.add(a.arg)
+        if scope.args.vararg:
+            names.add(scope.args.vararg.arg)
+        if scope.args.kwarg:
+            names.add(scope.args.kwarg.arg)
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            if not isinstance(node, ast.Lambda):
+                names.add(node.name)
+            continue  # nested scope
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                names.update(_binding_names(t))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_binding_names(item.optional_vars))
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _free_loads(scope: ast.AST, locals_: Set[str]) -> Set[str]:
+    """Names a nested scope reads from its enclosing function."""
+    free: Set[str] = set()
+    body = [scope.body] if isinstance(scope, ast.Lambda) else list(scope.body)
+    for node in body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
+                    and sub.id not in locals_:
+                free.add(sub.id)
+    return free
+
+
+class InPlaceMutationRule(Rule):
+    """R002: never mutate an array the autograd graph can see.
+
+    Three taint sources, per scope and in source order:
+
+    1. Tensor payloads — any chain through ``.data``/``.grad``, plus local
+       aliases assigned from an expression that mentions one without an
+       intervening fresh-array call.
+    2. Names captured by a backward closure (a nested function named
+       ``backward`` or passed to ``Tensor._make``), from the closure's
+       definition onward — and, inside the closure, every free name.
+    3. Names already handed to a ``Tensor(...)`` / ``Tensor._make(...)``
+       constructor, from that call onward.
+
+    Mutation forms: subscript stores, augmented assignment, mutating ndarray
+    methods (``sort``/``fill``/…), ``np.copyto``-family calls, ``ufunc.at``,
+    and ``rng.shuffle(x)`` on a tainted ``x`` (the PR 2 resume bug).
+    """
+
+    id = "R002"
+    name = "no-inplace-graph-mutation"
+    description = (
+        "no in-place numpy mutation of Tensor payloads, arrays captured by "
+        "backward closures, or arrays already passed to Tensor constructors"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan_scope(ctx, ctx.tree, inherited=set())
+
+    # -- per-scope analysis ---------------------------------------------
+    def _scan_scope(self, ctx: FileContext, scope: ast.AST,
+                    inherited: Set[str]) -> Iterator[Finding]:
+        body = [scope.body] if isinstance(scope, ast.Lambda) else list(scope.body)
+        locals_ = (_assigned_names(scope)
+                   if not isinstance(scope, ast.Module) else set())
+
+        # Taints: name -> (activation lineno, reason).
+        taint: Dict[str, Tuple[int, str]] = {
+            name: (0, "captured by a backward closure") for name in inherited
+        }
+        nested: List[Tuple[ast.AST, Set[str]]] = []
+
+        # Pass A: taints + nested scopes, in source order.  The walk stops
+        # at nested-scope boundaries — deeper functions belong to the
+        # recursion at line "Recurse into nested scopes" below, never to
+        # this scope (walking them twice would duplicate findings).
+        backward_args = self._backward_callback_names(body)
+        for stmt in body:
+            for node in _scope_nodes([stmt]):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                    is_backward = (
+                        getattr(node, "name", None) in backward_args
+                        or getattr(node, "name", None) == "backward"
+                    )
+                    sub_locals = _assigned_names(node)
+                    captured = (_free_loads(node, sub_locals)
+                                if is_backward else set())
+                    nested.append((node, captured))
+                    if is_backward:
+                        for name in captured:
+                            taint.setdefault(
+                                name,
+                                (node.lineno, "captured by a backward closure"))
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name and (name == "Tensor" or name.endswith(".Tensor")
+                                 or name.endswith("._make") or name == "tensor"):
+                        if node.args and isinstance(node.args[0], ast.Name):
+                            taint.setdefault(
+                                node.args[0].id,
+                                (node.lineno,
+                                 "already passed to a Tensor constructor"))
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    if _expr_aliases_payload(node.value):
+                        taint.setdefault(
+                            node.targets[0].id,
+                            (node.lineno, "aliases a Tensor .data/.grad"))
+
+        # Pass B: flag mutations (skipping nested scope bodies).
+        nested_ids = {id(n) for n, _ in nested}
+        for stmt in body:
+            yield from self._scan_statements(ctx, stmt, taint, nested_ids)
+
+        # Recurse into nested scopes; backward closures inherit captures.
+        for node, captured in nested:
+            yield from self._scan_scope(ctx, node, inherited=captured)
+
+    @staticmethod
+    def _backward_callback_names(body: Sequence[ast.AST]) -> Set[str]:
+        """Names of locals passed as the backward arg of ``Tensor._make``."""
+        names: Set[str] = set()
+        for node in _scope_nodes(body):
+            if isinstance(node, ast.Call):
+                fn = dotted_name(node.func)
+                if fn and fn.endswith("._make") and len(node.args) >= 3:
+                    if isinstance(node.args[2], ast.Name):
+                        names.add(node.args[2].id)
+        return names
+
+    def _walk_same_scope(self, node: ast.AST, nested_ids: Set[int]):
+        if id(node) in nested_ids:
+            return
+        yield node
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_same_scope(child, nested_ids)
+
+    def _scan_statements(self, ctx: FileContext, stmt: ast.AST,
+                         taint: Dict[str, Tuple[int, str]],
+                         nested_ids: Set[int]) -> Iterator[Finding]:
+        for node in self._walk_same_scope(stmt, nested_ids):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        yield from self._flag_target(ctx, node, target, taint,
+                                                     "subscript store")
+            elif isinstance(node, ast.AugAssign):
+                yield from self._flag_target(ctx, node, node.target, taint,
+                                             "augmented assignment")
+            elif isinstance(node, ast.Call):
+                yield from self._flag_call(ctx, node, taint)
+
+    def _taint_reason(self, expr: ast.AST, line: int,
+                      taint: Dict[str, Tuple[int, str]]) -> Optional[str]:
+        if _chain_has_payload(expr):
+            return "a Tensor .data/.grad payload"
+        root = _root_name(expr)
+        if root is not None and root in taint:
+            active_from, reason = taint[root]
+            if line >= active_from:
+                return f"an array that {reason}"
+        return None
+
+    def _flag_target(self, ctx: FileContext, node: ast.AST, target: ast.AST,
+                     taint: Dict[str, Tuple[int, str]],
+                     kind: str) -> Iterator[Finding]:
+        # Rebinding a bare name/attribute is fine; mutation is subscript
+        # stores and augmented assignment on tainted chains.
+        if isinstance(target, ast.Name):
+            reason = (f"an array that {taint[target.id][1]}"
+                      if target.id in taint
+                      and node.lineno >= taint[target.id][0] else None)
+        else:
+            reason = self._taint_reason(target, node.lineno, taint)
+        if reason is not None and not (
+                isinstance(target, ast.Attribute)):  # plain attr rebind is ok
+            yield ctx.finding(
+                self, node,
+                f"in-place {kind} mutates {reason}; compute a fresh array "
+                f"(or .copy() first) instead")
+        elif isinstance(target, ast.Attribute) and isinstance(node, ast.AugAssign) \
+                and target.attr in ("data", "grad"):
+            yield ctx.finding(
+                self, node,
+                "augmented assignment mutates a Tensor .data/.grad payload "
+                "in place; rebind it (x.data = x.data - ...) instead")
+
+    def _flag_call(self, ctx: FileContext, node: ast.Call,
+                   taint: Dict[str, Tuple[int, str]]) -> Iterator[Finding]:
+        fn = dotted_name(node.func)
+        if fn is None:
+            return
+        head, _, leaf = fn.rpartition(".")
+        # np.copyto(x, ...) / np.put / np.place / np.putmask
+        if head in ("np", "numpy") and leaf in _MUTATING_NP_FUNCS and node.args:
+            reason = self._taint_reason(node.args[0], node.lineno, taint)
+            if reason is None and isinstance(node.args[0], ast.Name) \
+                    and node.args[0].id in taint:
+                reason = f"an array that {taint[node.args[0].id][1]}"
+            if reason is not None:
+                yield ctx.finding(
+                    self, node,
+                    f"np.{leaf} writes in place into {reason}")
+            return
+        # ufunc.at: np.add.at(x, ...) — mutates its first argument.
+        if leaf == "at" and head.startswith(("np.", "numpy.")) and node.args:
+            reason = self._taint_reason(node.args[0], node.lineno, taint)
+            if reason is not None:
+                yield ctx.finding(
+                    self, node, f"ufunc .at() writes in place into {reason}")
+            return
+        # rng.shuffle(x) on a graph-visible array — the PR 2 resume bug.
+        if leaf == "shuffle" and node.args:
+            reason = self._taint_reason(node.args[0], node.lineno, taint)
+            if reason is not None:
+                yield ctx.finding(
+                    self, node,
+                    f"in-place shuffle of {reason}; use rng.permutation and "
+                    f"index instead")
+            return
+        # x.sort() / x.fill() / ... on a tainted chain.
+        if isinstance(node.func, ast.Attribute) and leaf in _MUTATING_METHODS:
+            reason = self._taint_reason(node.func.value, node.lineno, taint)
+            if reason is not None:
+                yield ctx.finding(
+                    self, node,
+                    f".{leaf}() mutates {reason} in place")
+
+
+# ----------------------------------------------------------------------
+# R003 — gradcheck coverage registry diff
+# ----------------------------------------------------------------------
+
+_BINOP_TO_OP = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul", ast.Div: "div",
+    ast.Pow: "pow", ast.MatMult: "matmul",
+}
+
+#: Wrappers/composites in gradcheck callables → the engine ops they drive.
+_WRAPPER_TO_OPS: Dict[str, Set[str]] = {
+    "broadcast_to": {"broadcast"},
+    "binary_cross_entropy_with_logits": {"bce_logits"},
+    "mse_loss": {"sub", "mul", "sum"},
+    "cross_entropy": {"log_softmax", "getitem", "mul", "sum"},
+    "nll_loss": {"log_softmax", "getitem"},
+    "mean": {"sum", "mul"},
+    "flatten": {"reshape"},
+    "swapaxes": {"transpose"},
+    "T": {"transpose"},
+}
+
+
+class GradcheckCoverageRule(ProjectRule):
+    """R003: every op registered via ``Tensor._make(..., "op")`` must appear
+    inside a ``gradcheck(...)`` callable in the autograd test files."""
+
+    id = "R003"
+    name = "gradcheck-coverage"
+    description = ("every differentiable op has a matching central-difference "
+                   "gradcheck in the autograd test suite")
+
+    def __init__(self,
+                 source_files: Sequence[str] = (
+                     "src/repro/autograd/tensor.py",
+                     "src/repro/autograd/functional.py",
+                 ),
+                 test_files: Sequence[str] = (
+                     "tests/test_property_autograd.py",
+                     "tests/test_autograd_tensor.py",
+                     "tests/test_autograd_functional.py",
+                     "tests/test_autograd_edge_cases.py",
+                 )):
+        self.source_files = tuple(source_files)
+        self.test_files = tuple(test_files)
+
+    # -- op registry from the sources -----------------------------------
+    def _defined_ops(self, project: Project) -> Dict[str, Tuple[str, int]]:
+        ops: Dict[str, Tuple[str, int]] = {}
+        for rel in self.source_files:
+            ctx = project.context(rel)
+            if ctx is None or ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = dotted_name(node.func)
+                if not fn or not fn.endswith("._make"):
+                    continue
+                op_arg: Optional[ast.AST] = None
+                if len(node.args) >= 4:
+                    op_arg = node.args[3]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == "op":
+                            op_arg = kw.value
+                if isinstance(op_arg, ast.Constant) and isinstance(op_arg.value, str):
+                    ops.setdefault(op_arg.value, (rel, node.lineno))
+        return ops
+
+    # -- coverage from the tests ----------------------------------------
+    def _covered_ops(self, project: Project, known: Set[str]) -> Set[str]:
+        covered: Set[str] = set()
+        for rel in self.test_files:
+            ctx = project.context(rel)
+            if ctx is None or ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = dotted_name(node.func)
+                if not fn or fn.rpartition(".")[2] != "gradcheck" or not node.args:
+                    continue
+                covered |= self._ops_in_callable(ctx, node, node.args[0], known)
+        return covered
+
+    def _ops_in_callable(self, ctx: FileContext, call: ast.Call,
+                         expr: ast.AST, known: Set[str]) -> Set[str]:
+        ops: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.BinOp):
+                op = _BINOP_TO_OP.get(type(node.op))
+                if op:
+                    ops.add(op)
+            elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+                # Literal negation (-1.0) is constant folding, not the neg op.
+                if not isinstance(node.operand, ast.Constant):
+                    ops.add("neg")
+            elif isinstance(node, ast.Subscript):
+                ops.add("getitem")
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                leaf = node.attr if isinstance(node, ast.Attribute) else node.id
+                if leaf in known:
+                    ops.add(leaf)
+                ops |= _WRAPPER_TO_OPS.get(leaf, set())
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                    and node.func.id == "getattr":
+                ops |= self._parametrized_ops(ctx, call, known)
+        return ops
+
+    def _parametrized_ops(self, ctx: FileContext, call: ast.Call,
+                          known: Set[str]) -> Set[str]:
+        """Ops named as string constants in a ``pytest.mark.parametrize``
+        decorating the test that contains a ``getattr``-dispatch gradcheck."""
+        ops: Set[str] = set()
+        for up in ctx.ancestors(call):
+            if isinstance(up, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in up.decorator_list:
+                    name = dotted_name(deco.func) if isinstance(deco, ast.Call) else None
+                    if name and name.endswith("parametrize"):
+                        for sub in ast.walk(deco):
+                            if isinstance(sub, ast.Constant) \
+                                    and isinstance(sub.value, str) \
+                                    and sub.value in known:
+                                ops.add(sub.value)
+                break
+        return ops
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        defined = self._defined_ops(project)
+        if not defined:
+            return
+        covered = self._covered_ops(project, set(defined))
+        for op, (rel, line) in sorted(defined.items()):
+            if op in covered:
+                continue
+            ctx = project.context(rel)
+            if ctx is None:
+                continue
+            yield ctx.finding(
+                self, line,
+                f"differentiable op '{op}' has no central-difference "
+                f"gradcheck in {', '.join(self.test_files)}")
+
+
+# ----------------------------------------------------------------------
+# R004 — fault-point site registry
+# ----------------------------------------------------------------------
+
+
+class FaultSiteRule(ProjectRule):
+    """R004: ``fault_point`` sites are unique, registered, and tested."""
+
+    id = "R004"
+    name = "fault-site-registry"
+    description = ("every fault_point site name is unique, registered in "
+                   "reliability.faults.KNOWN_SITES, and exercised by a test")
+
+    def __init__(self, src_root: str = "src/repro",
+                 faults_module: str = "src/repro/reliability/faults.py",
+                 tests_root: str = "tests"):
+        self.src_root = src_root
+        self.faults_module = faults_module
+        self.tests_root = tests_root
+
+    def _call_sites(self, project: Project) -> List[Tuple[str, FileContext, int]]:
+        sites: List[Tuple[str, FileContext, int]] = []
+        for ctx in project.walk(self.src_root):
+            if ctx.tree is None:
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Call):
+                    fn = dotted_name(node.func)
+                    if fn and fn.rpartition(".")[2] == "fault_point" \
+                            and node.args \
+                            and isinstance(node.args[0], ast.Constant) \
+                            and isinstance(node.args[0].value, str):
+                        sites.append((node.args[0].value, ctx, node.lineno))
+        return sites
+
+    def _registry(self, project: Project) -> Tuple[Set[str], Optional[FileContext], int]:
+        ctx = project.context(self.faults_module)
+        if ctx is None or ctx.tree is None:
+            return set(), ctx, 1
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if isinstance(target, ast.Name) and target.id == "KNOWN_SITES" \
+                    and isinstance(value, ast.Dict):
+                keys = {k.value for k in value.keys
+                        if isinstance(k, ast.Constant) and isinstance(k.value, str)}
+                return keys, ctx, node.lineno
+        return set(), ctx, 1
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        sites = self._call_sites(project)
+        if not sites:
+            return
+        registry, faults_ctx, registry_line = self._registry(project)
+        tests_text = "\n".join(project.read_all(self.tests_root).values())
+
+        seen: Dict[str, Tuple[FileContext, int]] = {}
+        for name, ctx, line in sites:
+            if name in seen:
+                first_ctx, first_line = seen[name]
+                yield ctx.finding(
+                    self, line,
+                    f"fault site '{name}' is also instrumented at "
+                    f"{first_ctx.rel}:{first_line}; site names must be unique")
+                continue
+            seen[name] = (ctx, line)
+            if registry and name not in registry:
+                yield ctx.finding(
+                    self, line,
+                    f"fault site '{name}' is not registered in "
+                    f"reliability.faults.KNOWN_SITES")
+            if name not in tests_text:
+                yield ctx.finding(
+                    self, line,
+                    f"fault site '{name}' is not exercised by any test "
+                    f"under {self.tests_root}/")
+        if faults_ctx is not None:
+            for name in sorted(registry - set(seen)):
+                yield faults_ctx.finding(
+                    self, registry_line,
+                    f"KNOWN_SITES entry '{name}' has no fault_point call "
+                    f"site; remove the stale registration")
+        if faults_ctx is not None and not registry:
+            yield faults_ctx.finding(
+                self, registry_line,
+                "reliability.faults defines no KNOWN_SITES registry dict")
+
+
+# ----------------------------------------------------------------------
+# R005 — cache-key completeness
+# ----------------------------------------------------------------------
+
+
+class CacheKeyRule(Rule):
+    """R005: weight-dependent cache entries must be keyed on the weight
+    version, and cache keys must never use ``id()``.
+
+    Weight dependence is detected when (a) the cache is the designated
+    weights cache (``lm_cache``) or (b) the compute callback calls any
+    attribute whose name contains ``forward`` (the module-forward naming
+    convention this repo follows).  The heuristic is documented in
+    docs/ANALYSIS.md — new weight-reading caches must keep to it.
+    """
+
+    id = "R005"
+    name = "cache-key-completeness"
+    description = ("get_or_compute over model weights must include "
+                   "params_version() in the key, and never id()")
+
+    @staticmethod
+    def _key_exprs(ctx: FileContext, call: ast.Call,
+                   key_expr: ast.AST) -> List[ast.AST]:
+        """The key expression, plus — when it is a bare name — the values
+        assigned to that name in the enclosing function (``key = (...)``)."""
+        exprs: List[ast.AST] = [key_expr]
+        if isinstance(key_expr, ast.Name):
+            for up in ctx.ancestors(call):
+                if isinstance(up, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    for node in ast.walk(up):
+                        if isinstance(node, ast.Assign) and any(
+                                isinstance(t, ast.Name) and t.id == key_expr.id
+                                for t in node.targets):
+                            exprs.append(node.value)
+                        elif isinstance(node, ast.AnnAssign) \
+                                and isinstance(node.target, ast.Name) \
+                                and node.target.id == key_expr.id \
+                                and node.value is not None:
+                            exprs.append(node.value)
+                    break
+        return exprs
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get_or_compute"
+                    and node.args):
+                continue
+            key_exprs = self._key_exprs(ctx, node, node.args[0])
+            compute = node.args[1] if len(node.args) > 1 else None
+            for kw in node.keywords:
+                if kw.arg == "compute":
+                    compute = kw.value
+
+            for key_expr in key_exprs:
+                for sub in ast.walk(key_expr):
+                    if isinstance(sub, ast.Call) \
+                            and isinstance(sub.func, ast.Name) \
+                            and sub.func.id == "id":
+                        yield ctx.finding(
+                            self, sub if sub.lineno else node,
+                            "cache key uses id(); ids are recycled after GC — "
+                            "use repro.perf.cache.instance_token instead")
+
+            receiver = node.func.value
+            if isinstance(receiver, ast.Call):  # lm_cache().get_or_compute(...)
+                receiver = receiver.func
+            cache_name = dotted_name(receiver) or ""
+            weights_cache = "lm_cache" in cache_name
+            weights_compute = compute is not None and any(
+                isinstance(sub, ast.Attribute) and "forward" in sub.attr
+                for sub in ast.walk(compute))
+            if (weights_cache or weights_compute) and not any(
+                    isinstance(sub, ast.Call)
+                    and (dotted_name(sub.func) or "").rpartition(".")[2]
+                    == "params_version"
+                    for key_expr in key_exprs
+                    for sub in ast.walk(key_expr)):
+                why = ("stores into the weights cache (lm_cache)"
+                       if weights_cache else
+                       "computes through a module forward")
+                yield ctx.finding(
+                    self, node,
+                    f"cache entry {why} but its key does not include "
+                    f"params_version(); stale activations could be served "
+                    f"after an optimizer step")
+
+
+def default_rules() -> List[Rule]:
+    """The rule pack ``repro lint`` runs by default."""
+    return [
+        NondeterminismRule(),
+        InPlaceMutationRule(),
+        GradcheckCoverageRule(),
+        FaultSiteRule(),
+        CacheKeyRule(),
+    ]

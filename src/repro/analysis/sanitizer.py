@@ -1,0 +1,142 @@
+"""Runtime write-sanitizer: freeze graph-visible arrays so mutation raises.
+
+The static rules in :mod:`repro.analysis.rules` catch in-place mutation they
+can *see*; this module catches the rest at runtime.  When active, every
+array the autograd graph can observe is made read-only the moment the graph
+observes it:
+
+* the output payload and every parent payload of each node built through
+  ``Tensor._make`` (the arrays a backward closure can reach), plus any
+  ndarray/Tensor cells captured directly in the closure itself;
+* every value stored into a :class:`repro.perf.cache.LRUCache` (cached
+  encodings must be bitwise-stable across hits).
+
+A later in-place write then raises ``ValueError: assignment destination is
+read-only`` *at the offending line* instead of corrupting gradients or
+cached state bitwise-silently.  Freezing uses ``flags.writeable = False``,
+which numpy always permits, costs no copy, and does not change values — a
+sanitized run that finishes proves the code is mutation-clean, and its
+results are bitwise-identical to an unsanitized run (asserted by the slow
+HierGAT-on-Beer test in ``tests/test_analysis.py``).
+
+Opt-in via ``REPRO_SANITIZE=1`` in the environment, ``repro lint
+--sanitize``, or programmatically::
+
+    from repro.analysis import sanitizer
+    with sanitizer.sanitize():
+        train_pair_classifier(...)
+
+The hooks mirror the profiler's ``_profile_hook`` pattern: module-level
+callables on :mod:`repro.autograd.tensor` and :mod:`repro.perf.cache` that
+cost one global load + ``is None`` test when inactive.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import os
+from typing import Iterator
+
+import numpy as np
+
+_active = False
+
+
+def is_active() -> bool:
+    """True while the sanitizer hooks are installed."""
+    return _active
+
+
+def _freeze_array(arr) -> None:
+    if isinstance(arr, np.ndarray):
+        try:
+            arr.flags.writeable = False
+        except ValueError:
+            # A view whose base was exposed elsewhere may refuse; the base
+            # itself is frozen wherever the graph saw it.
+            pass
+
+
+def _freeze_value(value) -> None:
+    """Recursively freeze every ndarray reachable inside a cache value."""
+    if isinstance(value, np.ndarray):
+        _freeze_array(value)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _freeze_value(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _freeze_value(item)
+
+
+def _graph_hook(out, parents, backward) -> None:
+    """Freeze everything a freshly-recorded graph node can observe."""
+    _freeze_array(out.data)
+    for p in parents:
+        _freeze_array(p.data)
+    closure = getattr(backward, "__closure__", None)
+    if closure:
+        for cell in closure:
+            try:
+                captured = cell.cell_contents
+            except ValueError:  # empty cell
+                continue
+            if isinstance(captured, np.ndarray):
+                _freeze_array(captured)
+            elif hasattr(captured, "data") and isinstance(
+                    getattr(captured, "data", None), np.ndarray):
+                _freeze_array(captured.data)
+
+
+def _hook_modules():
+    # ``repro.autograd`` re-exports the ``tensor`` *function*, shadowing the
+    # submodule attribute — resolve the module itself so the hook lands in
+    # the globals ``Tensor._make`` actually reads (same trap as the profiler).
+    return (importlib.import_module("repro.autograd.tensor"),
+            importlib.import_module("repro.perf.cache"))
+
+
+def enable() -> None:
+    """Install the freeze hooks on the autograd engine and the caches."""
+    global _active
+    tensor_mod, cache_mod = _hook_modules()
+    tensor_mod._sanitize_hook = _graph_hook
+    cache_mod._freeze_hook = _freeze_value
+    _active = True
+
+
+def disable() -> None:
+    """Remove the hooks.  Already-frozen arrays stay read-only (they are
+    graph history; nothing should write them anyway)."""
+    global _active
+    tensor_mod, cache_mod = _hook_modules()
+    tensor_mod._sanitize_hook = None
+    cache_mod._freeze_hook = None
+    _active = False
+
+
+@contextlib.contextmanager
+def sanitize() -> Iterator[None]:
+    """Context manager form; restores the previous state on exit."""
+    previous = _active
+    enable()
+    try:
+        yield
+    finally:
+        if not previous:
+            disable()
+
+
+def env_requested() -> bool:
+    """True when ``REPRO_SANITIZE`` asks for the sanitizer."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "on", "true", "yes")
+
+
+def enable_from_env() -> bool:
+    """Install the hooks iff the environment asks; returns whether it did."""
+    if env_requested():
+        enable()
+        return True
+    return False

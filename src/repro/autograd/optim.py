@@ -60,7 +60,10 @@ class SGD(Optimizer):
                     self._velocity[i] = np.zeros_like(p.data)
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
-            p.data -= self.lr * grad
+            # Rebind out-of-place: bitwise-identical to `-=` (same ufunc,
+            # fresh output buffer) but leaves graph-captured payloads intact,
+            # so the write-sanitizer can freeze them (R002).
+            p.data = p.data - self.lr * grad
         bump_params_version()
 
     def state_dict(self) -> dict:
@@ -114,7 +117,9 @@ class Adam(Optimizer):
             self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Out-of-place for the same reason as SGD.step: sanitizer-safe,
+            # bitwise-identical update.
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
         bump_params_version()
 
     def state_dict(self) -> dict:

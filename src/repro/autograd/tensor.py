@@ -27,6 +27,11 @@ _DEFAULT_DTYPE = np.float32
 #: ``hook(op_name, output_nbytes)`` at every op boundary.
 _profile_hook = None
 
+#: Write-sanitizer hook, installed by :mod:`repro.analysis.sanitizer`.  When
+#: set, it is called as ``hook(out, parents, backward)`` for every recorded
+#: graph node so the sanitizer can freeze the arrays the node can observe.
+_sanitize_hook = None
+
 
 def set_default_dtype(dtype) -> None:
     """Set the dtype used for newly created tensors (float32 or float64)."""
@@ -169,6 +174,8 @@ class Tensor:
         out = Tensor(data, requires_grad=requires, _parents=parents if requires else (), _op=op)
         if requires:
             out._backward = backward
+            if _sanitize_hook is not None:
+                _sanitize_hook(out, parents, backward)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:

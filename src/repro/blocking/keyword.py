@@ -25,15 +25,18 @@ def overlap_blocker(
     """
     if min_shared_tokens < 1:
         raise ValueError("min_shared_tokens must be >= 1")
+    # Token sets are sorted before iteration: str hashes are salted per
+    # process, so raw set order would reorder the candidate list from run to
+    # run (R001) even though its *contents* are identical.
     index: dict = {}
     for j, entity in enumerate(table_b):
-        for token in set(tokenize(entity.text())):
+        for token in sorted(set(tokenize(entity.text()))):
             index.setdefault(token, []).append(j)
 
     candidates: List[Tuple[int, int]] = []
     for i, entity in enumerate(table_a):
         counts: dict = {}
-        for token in set(tokenize(entity.text())):
+        for token in sorted(set(tokenize(entity.text()))):
             for j in index.get(token, ()):
                 counts[j] = counts.get(j, 0) + 1
         for j, c in counts.items():

@@ -7,6 +7,7 @@ Commands:
     bench EXPERIMENT [...]        regenerate one or more paper tables/figures
     inspect --dataset NAME        print sample pairs and dataset statistics
     profile --dataset NAME        train under the op-level profiler, print hot ops
+    lint [PATHS...]               check the determinism/gradient invariants (R001-R005)
 """
 
 from __future__ import annotations
@@ -154,9 +155,8 @@ def cmd_inspect(args) -> int:
 
 def cmd_profile(args) -> int:
     _apply_scale(args)
-    import time
-
     from repro import perf
+    from repro.perf.profiler import wall_clock
     from repro.data import load_dataset
 
     if args.perf == "off":
@@ -168,11 +168,11 @@ def cmd_profile(args) -> int:
     dataset = load_dataset(args.dataset, dirty=args.dirty)
     matcher = _make_matcher(args.matcher)
     perf.reset_stats()
-    start = time.perf_counter()
+    start = wall_clock()
     with perf.profile() as prof:
         matcher.fit(dataset)
         f1 = matcher.test_f1(dataset)
-    wall = time.perf_counter() - start
+    wall = wall_clock() - start
 
     print(prof.report(args.top))
     print()
@@ -182,6 +182,23 @@ def cmd_profile(args) -> int:
         print(f"cache[{name}]   hits={stats['hits']} misses={stats['misses']} "
               f"evictions={stats['evictions']} hit_rate={stats['hit_rate']:.0%}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the static invariant rules; exit 0 iff the tree is clean."""
+    from repro.analysis import Analyzer
+
+    if args.sanitize:
+        from repro.analysis import sanitizer
+
+        sanitizer.enable()
+        print("write-sanitizer enabled for this process "
+              "(graph-visible arrays frozen)", file=sys.stderr)
+
+    analyzer = Analyzer(root=args.root)
+    report = analyzer.run(args.paths)
+    print(report.to_json() if args.json else report.human())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,6 +245,17 @@ def build_parser() -> argparse.ArgumentParser:
                          default="default",
                          help="performance-layer switches during the run")
     profile.add_argument("--fast", action="store_true", help="tiny CI scale")
+
+    lint = sub.add_parser(
+        "lint", help="statically check the determinism/gradient invariants")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report instead of path:line rows")
+    lint.add_argument("--sanitize", action="store_true",
+                      help="also enable the runtime write-sanitizer hooks")
+    lint.add_argument("--root", default=".",
+                      help="repo root for cross-file rules (default: cwd)")
     return parser
 
 
@@ -240,6 +268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "inspect": cmd_inspect,
         "profile": cmd_profile,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

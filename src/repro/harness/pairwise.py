@@ -7,7 +7,6 @@ selection at the active scale.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -24,6 +23,7 @@ from repro.matchers.deeper import DeepERModel
 from repro.matchers.deepmatcher import DeepMatcherModel
 from repro.matchers.ditto import DittoModel
 from repro.matchers.magellan import MagellanMatcher
+from repro.perf.profiler import wall_clock
 
 #: The paper's Table 4 model line-up, in column order.
 PAIRWISE_MODELS: Dict[str, Callable[[], Matcher]] = {
@@ -166,9 +166,9 @@ def run_figure11_training_time(datasets: Optional[Sequence[str]] = None,
         row = [name, fmt(x_value, 0)]
         for model_name in models:
             matcher = PAIRWISE_MODELS[model_name]()
-            started = time.perf_counter()
+            started = wall_clock()
             matcher.fit(dataset)
-            row.append(fmt(time.perf_counter() - started, 2))
+            row.append(fmt(wall_clock() - started, 2))
         rows.append(row)
     return TableResult(
         experiment="Figure 11",

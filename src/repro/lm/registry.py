@@ -70,8 +70,7 @@ class PretrainedLM(Module):
         self.dim = spec.dim(scale)
         self.embedding = Embedding(len(vocab), self.dim, rng=rng)
         if embeddings is not None:
-            k = min(embeddings.dim, self.dim)
-            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+            self.embedding.load_pretrained(embeddings.matrix)
         self.encoder = TransformerEncoder(
             dim=self.dim,
             num_layers=spec.layers(scale),

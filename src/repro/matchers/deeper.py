@@ -38,8 +38,7 @@ class _DeepERNetwork(Module):
         self.composition = composition
         self.embedding = Embedding(len(vocab), dim, rng=rng)
         if embeddings is not None:
-            k = min(embeddings.dim, dim)
-            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+            self.embedding.load_pretrained(embeddings.matrix)
         self.lstm = LSTM(dim, dim, rng=rng) if composition == "lstm" else None
         self.classifier = MLP(2 * dim, dim, 2, dropout=0.1, rng=rng)
 

@@ -39,8 +39,7 @@ class _DeepMatcherNetwork(Module):
         self.num_attributes = num_attributes
         self.embedding = Embedding(len(vocab), dim, rng=rng)
         if embeddings is not None:
-            k = min(embeddings.dim, dim)
-            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+            self.embedding.load_pretrained(embeddings.matrix)
         self.gru = GRU(dim, dim, bidirectional=True, rng=rng)
         # Per attribute: |l - r| and l * r of the 2*dim GRU summaries.
         self.classifier = MLP(num_attributes * 4 * dim, 2 * dim, 2, dropout=0.1, rng=rng)

@@ -38,8 +38,7 @@ class _DMPlusNetwork(Module):
         self.dim = dim
         self.embedding = Embedding(len(vocab), dim, rng=rng)
         if embeddings is not None:
-            k = min(embeddings.dim, dim)
-            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+            self.embedding.load_pretrained(embeddings.matrix)
         self.gru = GRU(dim, dim, bidirectional=True, rng=rng)
         self.compare = Linear(2 * dim, dim, rng=rng)
         self.attr_score = Linear(dim, 1, rng=rng)

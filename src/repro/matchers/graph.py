@@ -62,8 +62,7 @@ class _PairGraphNetwork(Module):
         self.dim = dim
         self.embedding = Embedding(len(vocab), dim, rng=rng)
         if embeddings is not None:
-            k = min(embeddings.dim, dim)
-            self.embedding.weight.data[:, :k] = embeddings.matrix[:, :k]
+            self.embedding.load_pretrained(embeddings.matrix)
         self.classifier = MLP(4 * dim, dim, 2, rng=rng)
 
     def initial_features(self, graph: HHG) -> Tensor:

@@ -53,6 +53,15 @@ class Embedding(Module):
             (rng.standard_normal((num_embeddings, embedding_dim)) * scale).astype(get_default_dtype())
         )
 
+    def load_pretrained(self, matrix: np.ndarray) -> None:
+        """Overwrite the first ``min(matrix.shape[1], embedding_dim)`` columns
+        with pre-trained vectors, rebinding the payload out-of-place so any
+        graph or cache holding the old array is untouched (R002)."""
+        k = min(matrix.shape[1], self.embedding_dim)
+        weight = self.weight.data.copy()
+        weight[:, :k] = matrix[: self.num_embeddings, :k]
+        self.weight.data = weight.astype(self.weight.data.dtype)
+
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices)
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):

@@ -32,6 +32,11 @@ from repro.reliability.faults import fault_point
 #: Sentinel an injected ``poison`` fault stores in place of a cached value.
 _POISONED = object()
 
+#: Write-sanitizer hook, installed by :mod:`repro.analysis.sanitizer`.  When
+#: set, it is called as ``hook(value)`` on every stored entry so cached
+#: arrays can be frozen against in-place mutation.
+_freeze_hook = None
+
 
 @dataclasses.dataclass
 class CacheStats:
@@ -104,6 +109,8 @@ class LRUCache:
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
+        if _freeze_hook is not None:
+            _freeze_hook(value)
         if key in self._data:
             self._data.move_to_end(key)
             self._data[key] = value

@@ -146,3 +146,14 @@ def profile(reset: bool = True):
 
 def profiler_enabled() -> bool:
     return PROFILER.enabled
+
+
+def wall_clock() -> float:
+    """The repo's sanctioned monotonic-clock read (``time.perf_counter``).
+
+    Timing is a perf-layer concern: R001 forbids direct ``time.*`` reads
+    outside ``repro/perf`` so nondeterministic wall-clock values can never
+    leak into model state.  Callers that need an elapsed-seconds measurement
+    (CLI summaries, harness runtime columns) take deltas of this.
+    """
+    return time.perf_counter()

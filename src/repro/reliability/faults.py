@@ -49,6 +49,27 @@ _RETURNED_KINDS = ("corrupt", "nan", "poison")
 KINDS = _RAISING_KINDS + _RETURNED_KINDS
 
 
+#: Registry of every instrumented site in the tree.  R004 (``repro lint``)
+#: enforces that each ``fault_point`` call names a site registered here,
+#: that site names are unique, and that every site is exercised by a test;
+#: the table in ``docs/TESTING.md`` mirrors this dict.  Add the entry here
+#: *before* instrumenting new production code.
+KNOWN_SITES: Dict[str, str] = {
+    "lm.checkpoint.read": "LM checkpoint file read (lm/checkpoint.py)",
+    "lm.checkpoint.write": "LM checkpoint file write (lm/checkpoint.py)",
+    "lm.checkpoint.parse": "LM checkpoint JSON parse (lm/checkpoint.py)",
+    "lm.checkpoint.corrupt": "LM checkpoint payload integrity (lm/checkpoint.py)",
+    "train.checkpoint.read": "trainer state read (reliability/state.py)",
+    "train.checkpoint.write": "trainer state write (reliability/state.py)",
+    "train.checkpoint.corrupt": "trainer state integrity (reliability/state.py)",
+    "cache.entry": "LRU cache entry retrieval (perf/cache.py)",
+    "trainer.loss": "per-step loss computation (core/trainer.py)",
+    "trainer.step": "optimizer step boundary (core/trainer.py)",
+    "pipeline.score": "pipeline chunk scoring (pipeline.py)",
+    "harness.cell": "benchmark harness table cell (harness/tables.py)",
+}
+
+
 class InjectedFault(Exception):
     """Base class for all injected faults (never raised spontaneously)."""
 

@@ -262,6 +262,54 @@ class TestCentralDifferenceGrads:
         target = rng.standard_normal(5)
         assert gradcheck(lambda a: F.mse_loss(a, target), [x])
 
+    @given(finite_arrays(max_dims=2, max_side=4))
+    @settings(max_examples=15, deadline=None)
+    def test_neg_gradcheck(self, data):
+        x = _grad_tensor(data)
+        assert gradcheck(lambda a: -a, [x])
+
+    @given(st.integers(1, 4), st.integers(2, 5), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_softmax_composite_gradcheck(self, n, classes, seed):
+        """softmax through a downstream nonlinearity: the full Jacobian
+        (diag(s) - s sᵀ) must survive composition, not just the row-sum
+        identity the algebraic tests check."""
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal((n, classes)))
+        w = rng.standard_normal(classes)
+        assert gradcheck(lambda a: (F.softmax(a) * w).tanh().sum(), [x])
+
+    @given(st.integers(1, 4), st.integers(2, 5), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_log_softmax_composite_gradcheck(self, n, classes, seed):
+        """log_softmax composed with exp/mul — the NLL-style path cross_entropy
+        takes, exercised with a dense downstream instead of a label pick."""
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal((n, classes)))
+        w = np.abs(rng.standard_normal((n, classes))) + 0.1
+        assert gradcheck(lambda a: (F.log_softmax(a) * w).sum(), [x])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_gather_rows_duplicate_indices_gradcheck(self, seed):
+        """Integer-array indexing (gather) with *repeated* rows: backward
+        must accumulate into duplicated sources (the np.add.at path), not
+        overwrite them."""
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal((4, 3)))
+        idx = np.array([0, 2, 0, 3, 2])  # rows 0 and 2 gathered twice
+        w = rng.standard_normal((5, 3))
+        assert gradcheck(lambda a: (a[idx] * w).sum(), [x])
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_gather_fancy_2d_gradcheck(self, seed):
+        """(row, col) advanced indexing — the cross_entropy label pick."""
+        rng = np.random.default_rng(seed)
+        x = _grad_tensor(rng.standard_normal((4, 3)))
+        cols = np.array([2, 0, 0, 1])
+        assert gradcheck(lambda a: a[np.arange(4), cols].sum(), [x])
+
 
 class TestNoGradFastPath:
     """The inference fast path (Tensor._make under ``no_grad``) must change

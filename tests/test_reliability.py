@@ -260,6 +260,25 @@ class TestCorruptLMCheckpoint:
         assert states is not None
         assert COUNTERS.transient_retries == 1
 
+    def test_transient_write_absorbed_by_retry(self, tmp_path):
+        """The write side of the same contract: a transient IO failure while
+        persisting the checkpoint is retried, and the retried file is intact
+        (no truncated/partial artifact from the failed attempt)."""
+        path = tmp_path / "ck.npz"
+        lm_state, head_state = _tiny_checkpoint_states()
+        with inject(FaultPlan.single("lm.checkpoint.write", "transient")) as plan:
+            retry_with_backoff(
+                lambda: _write_checkpoint(path, lm_state, head_state),
+                sleep=lambda _: None)
+        assert plan.fired("lm.checkpoint.write", "transient") == 1
+        assert COUNTERS.transient_retries == 1
+        assert not list(tmp_path.glob("*.tmp.*"))  # no half-written debris
+        loaded_lm, loaded_head = _read_checkpoint(path)
+        for k in lm_state:
+            assert np.array_equal(loaded_lm[k], lm_state[k])
+        for k in head_state:
+            assert np.array_equal(loaded_head[k], head_state[k])
+
     @pytest.mark.slow
     def test_full_load_checkpoint_rebuilds_identically(self, tmp_path, monkeypatch):
         """End to end: a corrupted on-disk LM checkpoint is rebuilt bitwise."""
