@@ -7,6 +7,7 @@ Commands:
     bench EXPERIMENT [...]        regenerate one or more paper tables/figures
     inspect --dataset NAME        print sample pairs and dataset statistics
     profile --dataset NAME        train under the op-level profiler, print hot ops
+    serve --dataset NAME          drive traffic through the online serving layer
     lint [PATHS...]               check the determinism/gradient invariants (R001-R005)
 """
 
@@ -184,6 +185,57 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Stand up the online serving layer and drive concurrent traffic.
+
+    Without ``--soak`` this is a clean-traffic run (the latency baseline);
+    with ``--soak`` the standard chaos plan injects transient faults, cache
+    poisonings, and stalls while the harness asserts conservation and
+    tier-1 bitwise parity.  Exit status 1 if either invariant fails.
+    """
+    _apply_scale(args)
+    import json as _json
+
+    from repro.data import load_dataset
+    from repro.serving import (
+        ServingConfig, build_cascade, default_chaos_plan, run_soak,
+    )
+
+    dataset = load_dataset(args.dataset, dirty=args.dirty)
+    matcher = _make_matcher(args.matcher)
+    print(f"fitting tier-1 matcher ({args.matcher}) on {args.dataset} ...",
+          file=sys.stderr)
+    matcher.fit(dataset)
+    print("fitting fallback tiers (magellan features, tfidf floor) ...",
+          file=sys.stderr)
+    cascade = build_cascade(matcher, dataset)
+
+    config = ServingConfig(queue_capacity=args.capacity,
+                           num_workers=args.workers,
+                           default_deadline=args.deadline)
+    plan = default_chaos_plan() if args.soak else None
+    report = run_soak(
+        cascade, dataset.split.test, config=config, plan=plan,
+        n_clients=args.clients, requests_per_client=args.requests,
+        pairs_per_request=args.pairs, deadline_s=args.deadline,
+        seed=args.seed)
+
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2, default=str))
+    else:
+        print(report.summary())
+        breaker = report.service_stats["breaker"]
+        print(f"breaker: state={breaker['state']} opened={breaker['opened']} "
+              f"short_circuits={breaker['short_circuits']}")
+    if not report.ok:
+        print("SOAK FAILED: "
+              + ("requests lost; " if not report.conserved else "")
+              + ("tier-1 parity broken" if not report.tier1_parity else ""),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the static invariant rules; exit 0 iff the tree is clean."""
     from repro.analysis import Analyzer
@@ -246,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="performance-layer switches during the run")
     profile.add_argument("--fast", action="store_true", help="tiny CI scale")
 
+    serve = sub.add_parser(
+        "serve", help="drive concurrent traffic through the serving layer")
+    serve.add_argument("--dataset", required=True)
+    serve.add_argument("--matcher", choices=MATCHER_CHOICES, default="hiergat")
+    serve.add_argument("--dirty", action="store_true")
+    serve.add_argument("--fast", action="store_true", help="tiny CI scale")
+    serve.add_argument("--soak", action="store_true",
+                       help="inject the standard chaos plan and assert "
+                            "conservation + tier-1 parity")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--capacity", type=int, default=32,
+                       help="bounded request-queue size (admission control)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent client threads")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="requests per client")
+    serve.add_argument("--pairs", type=int, default=8,
+                       help="entity pairs per request")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload-composition seed")
+    serve.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
+
     lint = sub.add_parser(
         "lint", help="statically check the determinism/gradient invariants")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
@@ -268,6 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "inspect": cmd_inspect,
         "profile": cmd_profile,
+        "serve": cmd_serve,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

@@ -159,7 +159,7 @@ def train_pair_classifier(
             best_scores = state.best_scores
             start_epoch = state.epoch + 1
             resumed_from = start_epoch
-            COUNTERS.resumes += 1
+            COUNTERS.increment("resumes")
 
     # Label array built once; per-batch labels are index views of it.
     all_labels = np.array([p.label for p in train_pairs])
@@ -208,8 +208,8 @@ def train_pair_classifier(
                 # and retry the epoch with a halved learning rate.
                 _restore(model, optimizer, rng, epoch_start)
                 optimizer.lr *= 0.5
-                COUNTERS.nan_rollbacks += 1
-                COUNTERS.lr_halvings += 1
+                COUNTERS.increment("nan_rollbacks")
+                COUNTERS.increment("lr_halvings")
         losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
 
         scores = (predict_forward(model, forward, valid_pairs, config.batch_size)

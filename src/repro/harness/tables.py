@@ -33,7 +33,7 @@ def resilient_cell(fn: Callable[[], float],
     except TrainingKilled:
         raise
     except Exception:
-        COUNTERS.harness_cell_failures += 1
+        COUNTERS.increment("harness_cell_failures")
         return None
 
 

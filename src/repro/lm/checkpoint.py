@@ -200,7 +200,7 @@ def _read_checkpoint(path: Path) -> Optional[Tuple[Dict[str, np.ndarray], Dict[s
             path.unlink()
         except OSError:
             pass
-        COUNTERS.checkpoint_rebuilds += 1
+        COUNTERS.increment("checkpoint_rebuilds")
         return None
 
 

@@ -28,8 +28,22 @@ class Matcher:
         raise NotImplementedError
 
     def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
-        """Match probabilities in [0, 1]; default derives from predict()."""
-        return self.predict(pairs).astype(np.float64)
+        """Match probabilities in [0, 1].
+
+        Every matcher must provide *real* scores — the neural models their
+        sigmoid/softmax match probabilities, the ML baselines their
+        (squashed) margins.  The old default returned ``predict()`` labels
+        cast to float, which silently fed degenerate 0/1 "probabilities"
+        into calibration and the serving degradation cascade; that foot-gun
+        is gone, so a matcher without a score function now fails loudly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement scores(); return the "
+            f"model's match probabilities, not thresholded labels")
+
+    def predict_proba(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        """Alias for :meth:`scores` (the sklearn-style name callers expect)."""
+        return self.scores(pairs)
 
     # ------------------------------------------------------------------
     def evaluate(self, pairs: Sequence[EntityPair]) -> PRF1:

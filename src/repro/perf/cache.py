@@ -145,7 +145,7 @@ class LRUCache:
             del self._data[key]
             self.stats.degraded += 1
             self.stats.misses += 1
-            COUNTERS.cache_degraded += 1
+            COUNTERS.increment("cache_degraded")
             value = compute()
             self.put(key, value)
             return value

@@ -2,9 +2,14 @@
 
 Every graceful-degradation branch in the pipeline (transient-IO retry,
 NaN-loss rollback, poisoned-cache bypass, corrupt-checkpoint rebuild,
-crash resume, harness cell degradation) increments exactly one counter
-here, so tests — and operators — can assert that a run *recovered* rather
-than silently succeeded.
+crash resume, harness cell degradation, serving-tier fallback) increments
+exactly one counter here, so tests — and operators — can assert that a run
+*recovered* rather than silently succeeded.
+
+Counters are thread-safe: the serving worker pool increments them
+concurrently, so every mutation goes through :meth:`RecoveryCounters.increment`
+under a single per-object lock.  Reads (``as_dict``) take the same lock and
+therefore observe a consistent snapshot.
 
 Stdlib-only on purpose: this module is imported from ``repro.perf.cache``
 and the optimizers, which must stay free of heavyweight dependencies.
@@ -13,6 +18,7 @@ and the optimizers, which must stay free of heavyweight dependencies.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict
 
 
@@ -36,13 +42,33 @@ class RecoveryCounters:
     train_state_discards: int = 0
     #: Harness cells that exhausted retries and degraded to a blank result.
     harness_cell_failures: int = 0
+    #: Serving circuit breaker CLOSED -> OPEN transitions.
+    breaker_trips: int = 0
+    #: Serving requests rejected at admission (queue full / service closed).
+    requests_shed: int = 0
+    #: Serving requests degraded from tier 1 to the tier-2 feature matcher.
+    tier2_degradations: int = 0
+    #: Serving requests degraded further to the tier-3 TF-IDF floor.
+    tier3_degradations: int = 0
+
+    def __post_init__(self):
+        # Not a dataclass field: asdict()/fields() must never see the lock.
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Atomically add ``n`` to counter ``name`` (the only mutation path)."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
 
     def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+        with self._lock:
+            return {f.name: getattr(self, f.name)
+                    for f in dataclasses.fields(self)}
 
     def reset(self) -> None:
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+        with self._lock:
+            for field in dataclasses.fields(self):
+                setattr(self, field.name, 0)
 
 
 #: The process-wide counter instance (reset via ``COUNTERS.reset()`` in tests).

@@ -31,6 +31,16 @@ Fault kinds and their contracts:
 ``poison``
     Returned as ``"poison"``; caches replace the stored entry with garbage
     so validation-and-degrade is exercised.
+``stall``
+    Returned as ``"stall"``; the call site sleeps for its configured stall
+    duration, simulating a slow dependency (the serving layer uses this to
+    exercise deadline-triggered tier degradation).
+
+Plans are thread-safe: :meth:`FaultPlan.check` serializes the invocation
+counters behind a single lock, so the serving worker pool can drive one
+plan from many threads and still see a deterministic *total* fault count.
+(The per-thread interleaving of invocation indices is scheduler-dependent;
+multi-threaded tests therefore pin specs with wide ``at`` windows.)
 
 Stdlib-only on purpose — imported from low-level modules (``perf.cache``).
 """
@@ -39,13 +49,14 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import threading
 from collections import Counter
 from typing import Dict, Mapping, Optional, Tuple
 
 #: Kinds that raise from inside :func:`fault_point`.
 _RAISING_KINDS = ("transient", "kill")
 #: Kinds returned to the caller, which applies the damage itself.
-_RETURNED_KINDS = ("corrupt", "nan", "poison")
+_RETURNED_KINDS = ("corrupt", "nan", "poison", "stall")
 KINDS = _RAISING_KINDS + _RETURNED_KINDS
 
 
@@ -67,6 +78,8 @@ KNOWN_SITES: Dict[str, str] = {
     "trainer.step": "optimizer step boundary (core/trainer.py)",
     "pipeline.score": "pipeline chunk scoring (pipeline.py)",
     "harness.cell": "benchmark harness table cell (harness/tables.py)",
+    "serving.score": "tier-1 model scoring per batch (serving/service.py)",
+    "serving.tier2": "tier-2 feature-matcher scoring (serving/service.py)",
 }
 
 
@@ -123,6 +136,9 @@ class FaultPlan:
         self.seed = seed
         self.invocations: Counter = Counter()
         self.triggered: Counter = Counter()
+        # One lock per plan: check() mutates two Counters and must stay
+        # consistent when the serving worker pool fires sites concurrently.
+        self._lock = threading.Lock()
 
     @classmethod
     def single(cls, site: str, kind: str, at: Tuple[int, ...] = (0,),
@@ -133,13 +149,14 @@ class FaultPlan:
 
     def check(self, site: str, ctx: Mapping) -> Optional[FaultSpec]:
         """Advance the site counter; return the spec that fires, if any."""
-        index = self.invocations[site]
-        self.invocations[site] += 1
-        for spec in self.specs:
-            if spec.site == site and index in spec.at and spec.matches(ctx):
-                self.triggered[(site, spec.kind)] += 1
-                return spec
-        return None
+        with self._lock:
+            index = self.invocations[site]
+            self.invocations[site] += 1
+            for spec in self.specs:
+                if spec.site == site and index in spec.at and spec.matches(ctx):
+                    self.triggered[(site, spec.kind)] += 1
+                    return spec
+            return None
 
     def fired(self, site: str, kind: str) -> int:
         return self.triggered[(site, kind)]
@@ -154,8 +171,14 @@ def active_plan() -> Optional[FaultPlan]:
 
 @contextlib.contextmanager
 def inject(plan: FaultPlan):
-    """Activate ``plan`` for the duration of the block (not reentrant-safe
-    across threads; the pipeline is single-threaded)."""
+    """Activate ``plan`` for the duration of the block.
+
+    The active-plan global is process-wide: the serving worker pool reads
+    it from many threads while one test/driver thread holds the context.
+    ``FaultPlan.check`` itself is lock-protected, so concurrent callers are
+    safe; only *nesting* two ``inject`` blocks from different threads at
+    once is unsupported.
+    """
     global _active_plan
     previous = _active_plan
     _active_plan = plan
@@ -169,8 +192,8 @@ def fault_point(site: str, **ctx) -> Optional[str]:
     """Instrumented-site hook.  Returns a fault kind to apply, or ``None``.
 
     Raises :class:`TransientIOFault` / :class:`TrainingKilled` for the
-    raising kinds; returns ``"corrupt"``/``"nan"``/``"poison"`` for the
-    kinds the caller applies itself.
+    raising kinds; returns ``"corrupt"``/``"nan"``/``"poison"``/``"stall"``
+    for the kinds the caller applies itself.
     """
     plan = _active_plan
     if plan is None:

@@ -5,13 +5,22 @@ The policy is capped exponential backoff: attempt ``n`` sleeps
 exception types in ``retry_on`` are retried — anything else (corruption,
 assertion failures, kills) propagates immediately, because retrying a
 deterministic failure just wastes the budget.
+
+Concurrent callers (the serving worker pool) can opt into *deterministic
+jitter*: a policy constructed with ``jitter > 0`` and an injected seeded
+``numpy.random.Generator`` spreads each sleep uniformly over
+``[(1 - jitter) * delay, delay]``, so workers that hit the same slow
+dependency at the same moment do not retry in lockstep (a thundering
+herd).  The default policy is jitter-free and bitwise-identical to the
+historical behaviour; the generator is caller-owned and seeded (R001 — no
+hidden global RNG streams).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Tuple, Type, TypeVar
+from typing import Any, Callable, Optional, Tuple, Type, TypeVar
 
 from repro.reliability.counters import COUNTERS
 from repro.reliability.faults import TransientIOFault
@@ -26,16 +35,32 @@ DEFAULT_TRANSIENT: Tuple[Type[BaseException], ...] = (TransientIOFault, OSError)
 
 @dataclasses.dataclass(frozen=True)
 class RetryPolicy:
-    """Capped exponential backoff parameters."""
+    """Capped exponential backoff parameters.
+
+    ``jitter_rng`` is a seeded ``numpy.random.Generator`` (typed loosely so
+    this module stays numpy-import-free for the low-level importers); it is
+    only consulted when ``jitter > 0``.
+    """
 
     retries: int = 3          # retry attempts after the first try
     base_delay: float = 0.01  # seconds before the first retry
     backoff: float = 2.0      # multiplier per attempt
     max_delay: float = 0.25   # cap on any single sleep
+    jitter: float = 0.0       # fraction of each delay randomized away
+    jitter_rng: Optional[Any] = None  # seeded np.random.Generator
 
     def delay(self, attempt: int) -> float:
-        """Sleep before retry ``attempt`` (0-based), capped at ``max_delay``."""
-        return min(self.base_delay * (self.backoff ** attempt), self.max_delay)
+        """Sleep before retry ``attempt`` (0-based), capped at ``max_delay``.
+
+        With jitter configured, the sleep is shortened by up to
+        ``jitter * delay`` seconds, drawn from the injected generator —
+        deterministic for a given seed, never longer than the jitter-free
+        delay (the cap still holds).
+        """
+        delay = min(self.base_delay * (self.backoff ** attempt), self.max_delay)
+        if self.jitter > 0.0 and self.jitter_rng is not None:
+            delay *= 1.0 - self.jitter * float(self.jitter_rng.uniform())
+        return delay
 
 
 def retry_with_backoff(
@@ -56,6 +81,6 @@ def retry_with_backoff(
         except retry_on:
             if attempt == policy.retries:
                 raise
-            COUNTERS.transient_retries += 1
+            COUNTERS.increment("transient_retries")
             sleep(policy.delay(attempt))
     raise AssertionError("unreachable")  # pragma: no cover

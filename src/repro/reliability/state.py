@@ -180,7 +180,7 @@ def load_train_state(directory: Path) -> Optional[TrainState]:
             path.unlink()
         except OSError:
             pass
-        COUNTERS.train_state_discards += 1
+        COUNTERS.increment("train_state_discards")
         return None
 
     optimizer_state = dict(meta["optimizer_scalars"])

@@ -1,0 +1,58 @@
+"""Online serving layer: admission control, deadlines, circuit breakers,
+and a three-tier degradation cascade over any trained matcher.
+
+Stdlib-threading only; see ``docs/SERVING.md`` for the architecture and
+``repro serve`` / ``benchmarks/run_serve.py`` for the entry points.
+"""
+
+from repro.serving.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerStats,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.serving.service import (
+    InferenceService,
+    MatchResponse,
+    PendingResponse,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServingConfig,
+)
+from repro.serving.soak import SoakReport, default_chaos_plan, run_soak
+from repro.serving.tiers import (
+    TIER_FEATURES,
+    TIER_FULL,
+    TIER_TFIDF,
+    DegradationCascade,
+    ScoringTier,
+    TfidfMatcher,
+    build_cascade,
+)
+
+__all__ = [
+    "BreakerStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CLOSED",
+    "DegradationCascade",
+    "HALF_OPEN",
+    "InferenceService",
+    "MatchResponse",
+    "OPEN",
+    "PendingResponse",
+    "ScoringTier",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServingConfig",
+    "SoakReport",
+    "TIER_FEATURES",
+    "TIER_FULL",
+    "TIER_TFIDF",
+    "TfidfMatcher",
+    "build_cascade",
+    "default_chaos_plan",
+    "run_soak",
+]

@@ -1,0 +1,171 @@
+"""Circuit breaker for the tier-1 (LM-encoding + cache) scoring path.
+
+The classic three-state machine (Nygard, *Release It!*):
+
+* **closed** — calls flow through; each failure increments a consecutive-
+  failure count, each success resets it.  ``failure_threshold`` consecutive
+  failures trip the breaker open.
+* **open** — calls are rejected immediately (``CircuitOpenError``) without
+  touching the protected dependency, so a struggling LM/cache path gets
+  breathing room instead of a retry pile-on.  After ``reset_timeout``
+  seconds the breaker admits exactly one probe call.
+* **half-open** — the probe is in flight.  If it succeeds the breaker
+  closes; if it fails the breaker re-opens and the timeout restarts.
+
+Every transition is counted (``BreakerStats``) and every trip to open also
+increments the global ``COUNTERS.breaker_trips``, so the chaos soak can
+assert the breaker actually engaged.  All state lives behind one lock —
+the serving worker pool drives a single breaker from many threads.
+
+Timing goes through an injectable ``clock`` (default
+:func:`repro.perf.profiler.wall_clock`, the repo's sanctioned monotonic
+read) so tests can step time deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.perf.profiler import wall_clock
+from repro.reliability.counters import COUNTERS
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(RuntimeError):
+    """Raised instead of calling through while the breaker is open."""
+
+
+@dataclasses.dataclass
+class BreakerStats:
+    """Transition and outcome counters for one breaker."""
+
+    successes: int = 0
+    failures: int = 0
+    #: Calls rejected without touching the dependency (state was open).
+    short_circuits: int = 0
+    opened: int = 0
+    half_opens: int = 0
+    closed_from_half_open: int = 0
+    reopened_from_half_open: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker."""
+
+    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 0.25,
+                 name: str = "tier1",
+                 clock: Callable[[], float] = wall_clock):
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self.clock = clock
+        self.stats = BreakerStats()
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """The current state (resolving an elapsed open timeout lazily)."""
+        with self._lock:
+            self._resolve_timeout()
+            return self._state
+
+    def _resolve_timeout(self) -> None:
+        """open -> half-open once ``reset_timeout`` has elapsed (lock held)."""
+        if self._state == OPEN and self._opened_at is not None \
+                and self.clock() - self._opened_at >= self.reset_timeout:
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+            self.stats.half_opens += 1
+
+    def allow(self) -> bool:
+        """True if a call may proceed now.
+
+        In half-open state exactly one caller is admitted as the probe;
+        everyone else is short-circuited until the probe reports back.
+        """
+        with self._lock:
+            self._resolve_timeout()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            self.stats.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.stats.successes += 1
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probe_in_flight = False
+                self.stats.closed_from_half_open += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.stats.failures += 1
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._trip()
+                self.stats.reopened_from_half_open += 1
+            elif self._state == CLOSED \
+                    and self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        """-> open (lock held); counted locally and globally."""
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._probe_in_flight = False
+        self.stats.opened += 1
+        COUNTERS.increment("breaker_trips")
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker.
+
+        Raises :class:`CircuitOpenError` without calling when open; records
+        the outcome otherwise (any exception counts as a failure and is
+        re-raised unchanged).
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker {self.name!r} is {self._state}")
+        try:
+            value = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return value
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stats-endpoint snapshot: state + counters."""
+        with self._lock:
+            self._resolve_timeout()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+                **self.stats.as_dict(),
+            }

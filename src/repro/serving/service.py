@@ -1,0 +1,424 @@
+"""The online inference service: bounded queue, worker pool, deadlines,
+circuit breaker, and the degradation cascade.
+
+Request lifecycle::
+
+    submit(pairs, deadline_s)
+        │  queue full / closed ──► ServiceOverloaded / ServiceClosed
+        ▼                          (explicit rejection, counted)
+    bounded Queue ──► worker pool ──► tier walk ──► MatchResponse
+                                       │
+                      tier 1 (full model, behind the breaker, chunked with
+                              deadline checkpoints between chunks)
+                       ├─ deadline pressure / open breaker / fault
+                       ▼
+                      tier 2 (Magellan feature matcher)
+                       ├─ deadline pressure / fault
+                       ▼
+                      tier 3 (TF-IDF floor — always answers)
+
+Contracts the chaos soak asserts:
+
+* **Conservation** — every submitted request is either answered (a
+  ``MatchResponse``, possibly degraded, possibly carrying an error) or
+  explicitly rejected at admission.  ``answered + rejected == submitted``,
+  always; nothing is silently dropped.
+* **Tier-1 parity** — a tier-1 response is bitwise-identical to the
+  offline single-threaded ``matcher.scores`` path.  Tier-1 scoring chunks
+  at the matcher's own batch size (so padding boundaries match the offline
+  call exactly) and serializes model calls behind one lock (the encoding
+  caches are process-global).
+* **Honest degradation** — every response is stamped with the tier that
+  produced it and the reason it degraded; a cheap answer is never passed
+  off as a tier-1 answer.
+
+Timing uses :func:`repro.perf.profiler.wall_clock` exclusively (R001: the
+perf layer owns the clock).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+from repro.perf.profiler import wall_clock
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, retry_with_backoff
+from repro.serving.breaker import OPEN, CircuitBreaker, CircuitOpenError
+from repro.serving.tiers import DegradationCascade, ScoringTier
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control rejected the request: the queue is full."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shut down and no longer admits requests."""
+
+
+class _DeadlinePressure(Exception):
+    """Internal: a deadline checkpoint fired between pipeline stages."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs for :class:`InferenceService` (see docs/SERVING.md)."""
+
+    #: Bounded request queue; a full queue rejects, never buffers unbounded.
+    queue_capacity: int = 32
+    num_workers: int = 4
+    #: Per-request deadline in seconds (None = no deadline) unless the
+    #: caller passes an explicit one to ``submit``.
+    default_deadline: Optional[float] = None
+    #: Tier-1 scoring chunk; None = the matcher's own batch size, which is
+    #: what keeps chunked scoring bitwise-identical to the offline call.
+    batch_size: Optional[int] = None
+    #: Circuit breaker around the tier-1 LM-encoding + cache path.
+    breaker_failures: int = 3
+    breaker_reset: float = 0.25
+    #: Sleep applied when the ``stall`` fault kind fires at a serving site.
+    stall_seconds: float = 0.05
+    #: Retry policy for transient tier-1 faults (inside the breaker).
+    retry: RetryPolicy = RetryPolicy(retries=2, base_delay=0.005,
+                                     max_delay=0.05)
+
+
+@dataclasses.dataclass
+class MatchResponse:
+    """One answered request, stamped with provenance."""
+
+    request_id: int
+    status: str                      # "ok" | "error"
+    tier: Optional[str]              # tier name that produced the answer
+    tier_level: Optional[int]        # 1 = full model, 2 = features, 3 = tfidf
+    scores: Optional[np.ndarray]
+    labels: Optional[np.ndarray]
+    degraded: bool = False
+    degrade_reason: Optional[str] = None   # "deadline" | "breaker" | "fault"
+    deadline_missed: bool = False
+    latency: float = 0.0             # seconds from admission to answer
+    error: Optional[str] = None
+
+
+class PendingResponse:
+    """Client-side handle for an admitted request (a minimal future)."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[MatchResponse] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> MatchResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not answered within {timeout}s")
+        assert self._response is not None
+        return self._response
+
+    def _fulfill(self, response: MatchResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+@dataclasses.dataclass
+class _Request:
+    id: int
+    pairs: Tuple[EntityPair, ...]
+    admitted_at: float
+    deadline_at: Optional[float]
+    pending: PendingResponse
+
+
+class _ServiceCounters:
+    """Conservation bookkeeping, behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.answered = 0
+        self.rejected = 0
+        self.errors = 0
+        self.deadline_missed = 0
+        self.by_tier: Dict[int, int] = {1: 0, 2: 0, 3: 0}
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_answer(self, response: MatchResponse) -> None:
+        with self._lock:
+            self.answered += 1
+            if response.tier_level is not None:
+                self.by_tier[response.tier_level] += 1
+            if response.deadline_missed:
+                self.deadline_missed += 1
+            if response.status == "error":
+                self.errors += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "answered": self.answered,
+                "rejected": self.rejected,
+                "errors": self.errors,
+                "deadline_missed": self.deadline_missed,
+                "by_tier": dict(self.by_tier),
+                "conserved": self.submitted == self.answered + self.rejected,
+                "in_flight": self.submitted - self.answered - self.rejected,
+            }
+
+
+class InferenceService:
+    """A trained matcher behind admission control and a worker pool.
+
+    Use as a context manager (``with InferenceService(...) as svc``) or
+    call :meth:`start` / :meth:`close` explicitly.
+    """
+
+    def __init__(self, cascade: DegradationCascade,
+                 config: ServingConfig = ServingConfig()):
+        self.cascade = cascade
+        self.config = config
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failures,
+            reset_timeout=config.breaker_reset)
+        self.counters = _ServiceCounters()
+        self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue(
+            maxsize=config.queue_capacity)
+        self._workers: List[threading.Thread] = []
+        self._model_lock = threading.Lock()
+        self._submit_lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        self._started = False
+        matcher = cascade.tier1.matcher
+        scale = getattr(matcher, "scale", None)
+        self.batch_size = config.batch_size or getattr(scale, "batch_size", 32)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "InferenceService":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.config.num_workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{i}", daemon=True)
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def close(self) -> None:
+        """Stop admitting, drain every accepted request, stop the workers.
+
+        Draining before the sentinels preserves conservation: a request
+        that made it past admission is always answered, even during
+        shutdown.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.join()
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join()
+        self._workers = []
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- admission ------------------------------------------------------
+    def submit(self, pairs: Sequence[EntityPair],
+               deadline_s: Optional[float] = None) -> PendingResponse:
+        """Admit a scoring request or reject it explicitly.
+
+        Raises :class:`ServiceOverloaded` when the bounded queue is full
+        and :class:`ServiceClosed` after shutdown; both count as rejected
+        (``COUNTERS.requests_shed``) so conservation stays checkable.
+        """
+        self.counters.record_submit()
+        with self._submit_lock:
+            if self._closed:
+                self.counters.record_reject()
+                COUNTERS.increment("requests_shed")
+                raise ServiceClosed("service is closed")
+            self._next_id += 1
+            request_id = self._next_id
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline
+        now = wall_clock()
+        pending = PendingResponse(request_id)
+        request = _Request(
+            id=request_id, pairs=tuple(pairs), admitted_at=now,
+            deadline_at=None if deadline_s is None else now + deadline_s,
+            pending=pending)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.counters.record_reject()
+            COUNTERS.increment("requests_shed")
+            raise ServiceOverloaded(
+                f"request queue full ({self.config.queue_capacity} waiting); "
+                f"retry with backoff") from None
+        return pending
+
+    # -- worker side ----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is None:
+                self._queue.task_done()
+                return
+            try:
+                response = self._process(request)
+            except BaseException as exc:  # the floor tier failed: answer
+                response = MatchResponse(  # explicitly, never drop silently
+                    request_id=request.id, status="error", tier=None,
+                    tier_level=None, scores=None, labels=None,
+                    degraded=True, degrade_reason="fault",
+                    latency=wall_clock() - request.admitted_at,
+                    error=f"{type(exc).__name__}: {exc}")
+            self.counters.record_answer(response)
+            request.pending._fulfill(response)
+            self._queue.task_done()
+
+    def _expired(self, request: _Request) -> bool:
+        return request.deadline_at is not None \
+            and wall_clock() >= request.deadline_at
+
+    def _process(self, request: _Request) -> MatchResponse:
+        reason: Optional[str] = None
+        tier = self.cascade.tier1
+        scores: Optional[np.ndarray] = None
+
+        # Checkpoint: between admission and tier-1 work.
+        if self._expired(request):
+            reason = "deadline"
+        elif self.breaker.state == OPEN:
+            reason = "breaker"
+        else:
+            try:
+                scores = self._score_tier1(request)
+            except _DeadlinePressure:
+                reason = "deadline"
+            except CircuitOpenError:
+                reason = "breaker"
+            except Exception:
+                reason = "fault"
+
+        if scores is None:
+            # Checkpoint: between tier-1 abandonment and tier-2 work.  A
+            # request whose deadline has already passed skips the feature
+            # tier too and drops straight to the floor.
+            tier = self.cascade.by_level(2)
+            if not self._expired(request):
+                try:
+                    scores = self._score_tier2(request, tier)
+                except Exception:
+                    reason = reason or "fault"
+            if scores is None:
+                reason = reason or "deadline"
+                tier = self.cascade.by_level(3)
+                scores = tier.score(list(request.pairs))
+
+        if tier.level == 2:
+            COUNTERS.increment("tier2_degradations")
+        elif tier.level == 3:
+            COUNTERS.increment("tier3_degradations")
+        labels = tier.predict(scores)
+        finished = wall_clock()
+        return MatchResponse(
+            request_id=request.id, status="ok", tier=tier.name,
+            tier_level=tier.level, scores=scores, labels=labels,
+            degraded=tier.level > 1, degrade_reason=reason,
+            deadline_missed=(request.deadline_at is not None
+                             and finished > request.deadline_at),
+            latency=finished - request.admitted_at)
+
+    # -- tier scoring ---------------------------------------------------
+    def _score_tier1(self, request: _Request) -> np.ndarray:
+        """Chunked tier-1 scoring with deadline checkpoints between chunks.
+
+        Chunks are the matcher's own batch size, so concatenated chunk
+        scores are bitwise-identical to one offline ``matcher.scores``
+        call over the whole request (padding boundaries line up exactly).
+        Each chunk runs through the circuit breaker; transient faults are
+        retried inside it, and only an exhausted retry budget counts as a
+        breaker failure.
+        """
+        pairs = request.pairs
+        chunks: List[np.ndarray] = []
+        for start in range(0, len(pairs), self.batch_size):
+            if self._expired(request):
+                raise _DeadlinePressure
+            chunk = list(pairs[start:start + self.batch_size])
+
+            def attempt(chunk=chunk):
+                kind = fault_point("serving.score", request=request.id)
+                if kind == "stall":
+                    time.sleep(self.config.stall_seconds)
+                # The encoding caches and the autograd engine are process
+                # globals; one model lock keeps worker interleavings out
+                # of the tier-1 numbers entirely.
+                with self._model_lock:
+                    return self.cascade.tier1.score(chunk)
+
+            chunks.append(self.breaker.call(
+                lambda attempt=attempt: retry_with_backoff(
+                    attempt, policy=self.config.retry)))
+        if not chunks:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate(chunks)
+
+    def _score_tier2(self, request: _Request, tier: ScoringTier) -> np.ndarray:
+        kind = fault_point("serving.tier2", request=request.id)
+        if kind == "stall":
+            time.sleep(self.config.stall_seconds)
+        return tier.score(list(request.pairs))
+
+    # -- observability --------------------------------------------------
+    def healthy(self) -> bool:
+        """Liveness summary: admitting requests and the breaker is not open."""
+        return not self._closed and self.breaker.state != OPEN
+
+    def stats(self) -> Dict[str, object]:
+        """The health/stats endpoint: conservation counters, breaker state,
+        queue depth, and the perf layer's cache counters in one snapshot."""
+        from repro import perf
+
+        recovery = COUNTERS.as_dict()
+        return {
+            "healthy": self.healthy(),
+            "service": {
+                "queue_capacity": self.config.queue_capacity,
+                "queue_depth": self._queue.qsize(),
+                "workers": self.config.num_workers,
+                "batch_size": self.batch_size,
+                "closed": self._closed,
+            },
+            "requests": self.counters.snapshot(),
+            "breaker": self.breaker.as_dict(),
+            "caches": perf.cache_stats(),
+            "recovery": {key: recovery[key] for key in (
+                "transient_retries", "cache_degraded", "breaker_trips",
+                "requests_shed", "tier2_degradations", "tier3_degradations")},
+        }

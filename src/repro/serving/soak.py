@@ -1,0 +1,246 @@
+"""Chaos-soak harness: concurrent clients + fault injection + invariants.
+
+Drives real traffic through a live :class:`InferenceService` from several
+client threads while a PR-2 :class:`FaultPlan` injects transient IO faults,
+poisoned cache entries, and slow-call stalls at the registered
+``fault_point`` sites, then checks the two serving invariants:
+
+* **conservation** — every submitted request was answered or explicitly
+  rejected; client-side tallies and service counters must agree and sum up
+  (``answered + rejected == submitted``);
+* **tier-1 parity** — every response produced by tier 1 is bitwise-
+  identical to the offline single-threaded ``matcher.scores`` answer for
+  the same pairs.
+
+The report carries throughput and p50/p99 latency (overall and per tier),
+which ``benchmarks/run_serve.py`` serializes into ``BENCH_serve.json`` and
+``repro serve --soak`` prints.
+
+Client workload composition is seeded (R001): request slices are drawn
+from a caller-seeded generator, so two soaks with the same seed submit the
+same pair batches in the same per-client order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import EntityPair
+from repro.perf.profiler import wall_clock
+from repro.reliability.faults import FaultPlan, FaultSpec, inject
+from repro.serving.service import (
+    InferenceService,
+    MatchResponse,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServingConfig,
+)
+from repro.serving.tiers import DegradationCascade
+
+
+def default_chaos_plan(period: int = 5, stall_period: int = 7,
+                       poison_period: int = 11) -> FaultPlan:
+    """The standard soak mix: transients, stalls, and cache poisonings.
+
+    Periodic ``at`` schedules (every ``period``-th tier-1 score call, etc.)
+    keep the fault mix deterministic in *total volume* for a given amount
+    of traffic regardless of thread interleaving.
+    """
+    return FaultPlan((
+        FaultSpec(site="serving.score", kind="transient",
+                  at=tuple(range(0, 1_000_000, period))),
+        FaultSpec(site="serving.score", kind="stall",
+                  at=tuple(range(3, 1_000_000, stall_period))),
+        FaultSpec(site="cache.entry", kind="poison",
+                  at=tuple(range(0, 1_000_000, poison_period))),
+        FaultSpec(site="serving.tier2", kind="transient",
+                  at=(2, 9)),
+    ))
+
+
+@dataclasses.dataclass
+class SoakReport:
+    """Everything the soak measured and asserted."""
+
+    duration: float
+    submitted: int
+    answered: int
+    rejected: int
+    conserved: bool
+    tier1_parity: bool
+    parity_checked: int              # tier-1 responses compared bitwise
+    by_tier: Dict[str, int]
+    throughput: float                # answered requests / second
+    latency: Dict[str, Dict[str, float]]  # per tier + "all": p50/p99/mean
+    faults_triggered: Dict[str, int]
+    service_stats: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        return self.conserved and self.tier1_parity
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        lines = [
+            f"soak: {self.submitted} submitted = {self.answered} answered "
+            f"+ {self.rejected} rejected "
+            f"[{'conserved' if self.conserved else 'LOST REQUESTS'}]",
+            f"tier-1 parity: {'bitwise-identical' if self.tier1_parity else 'MISMATCH'}"
+            f" ({self.parity_checked} responses checked)",
+            f"throughput: {self.throughput:.1f} req/s over {self.duration:.2f}s",
+        ]
+        for tier, stats in sorted(self.latency.items()):
+            if stats["count"]:
+                lines.append(
+                    f"  latency[{tier}]  p50={stats['p50'] * 1e3:.1f}ms  "
+                    f"p99={stats['p99'] * 1e3:.1f}ms  n={int(stats['count'])}")
+        if self.faults_triggered:
+            fired = ", ".join(f"{key}={count}" for key, count
+                              in sorted(self.faults_triggered.items()))
+            lines.append(f"faults fired: {fired}")
+        return "\n".join(lines)
+
+
+def _latency_stats(latencies: Sequence[float]) -> Dict[str, float]:
+    if not latencies:
+        return {"count": 0, "p50": 0.0, "p99": 0.0, "mean": 0.0}
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "count": int(arr.size),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+    }
+
+
+def _client(service: InferenceService, batches: Sequence[Tuple[EntityPair, ...]],
+            deadline_s: Optional[float],
+            out: List[Tuple[Tuple[EntityPair, ...], "object"]],
+            rejections: List[int]) -> None:
+    """One client thread: submit every batch, keep handles and rejections."""
+    for batch in batches:
+        try:
+            pending = service.submit(batch, deadline_s=deadline_s)
+        except (ServiceOverloaded, ServiceClosed):
+            rejections.append(1)
+            continue
+        out.append((batch, pending))
+
+
+def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
+             config: ServingConfig = ServingConfig(),
+             plan: Optional[FaultPlan] = None,
+             n_clients: int = 4, requests_per_client: int = 8,
+             pairs_per_request: int = 8,
+             deadline_s: Optional[float] = None,
+             seed: int = 0) -> SoakReport:
+    """Run the chaos soak and return the measured/asserted report.
+
+    ``plan=None`` runs clean traffic (the latency baseline);
+    :func:`default_chaos_plan` is the standard fault mix.  The tier-1
+    offline parity reference is computed *after* the service closes, on
+    the caller's thread, with the same single-call path ``predict`` uses.
+    """
+    rng = np.random.default_rng(seed)
+    pool = list(pairs)
+    if not pool:
+        raise ValueError("cannot soak with an empty pair pool")
+
+    # Pre-draw every client's batches so submission threads do no RNG work.
+    client_batches: List[List[Tuple[EntityPair, ...]]] = []
+    for _ in range(n_clients):
+        batches = []
+        for _ in range(requests_per_client):
+            start = int(rng.integers(0, max(len(pool) - pairs_per_request, 0) + 1))
+            batches.append(tuple(pool[start:start + pairs_per_request]))
+        client_batches.append(batches)
+
+    service = InferenceService(cascade, config)
+    answered: List[List[Tuple[Tuple[EntityPair, ...], object]]] = \
+        [[] for _ in range(n_clients)]
+    rejections: List[List[int]] = [[] for _ in range(n_clients)]
+
+    started = wall_clock()
+    plan_ctx = inject(plan) if plan is not None else None
+    try:
+        if plan_ctx is not None:
+            plan_ctx.__enter__()
+        with service:
+            threads = [
+                threading.Thread(
+                    target=_client,
+                    args=(service, client_batches[i], deadline_s,
+                          answered[i], rejections[i]),
+                    name=f"soak-client-{i}")
+                for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            responses: List[Tuple[Tuple[EntityPair, ...], MatchResponse]] = []
+            for client_out in answered:
+                for batch, pending in client_out:
+                    responses.append((batch, pending.result(timeout=120.0)))
+    finally:
+        if plan_ctx is not None:
+            plan_ctx.__exit__(None, None, None)
+    duration = wall_clock() - started
+
+    # -- invariants -----------------------------------------------------
+    n_rejected = sum(len(r) for r in rejections)
+    n_submitted = n_rejected + len(responses)
+    snapshot = service.counters.snapshot()
+    conserved = (
+        snapshot["conserved"]
+        and snapshot["submitted"] == n_submitted
+        and snapshot["answered"] == len(responses)
+        and snapshot["rejected"] == n_rejected
+    )
+
+    parity = True
+    parity_checked = 0
+    offline = cascade.tier1.matcher
+    for batch, response in responses:
+        if response.tier_level != 1:
+            continue
+        parity_checked += 1
+        reference = offline.scores(list(batch))
+        if not np.array_equal(response.scores, reference):
+            parity = False
+
+    # -- metrics --------------------------------------------------------
+    by_tier: Dict[str, int] = {}
+    latencies: Dict[str, List[float]] = {"all": []}
+    for _, response in responses:
+        tier = response.tier or "error"
+        by_tier[tier] = by_tier.get(tier, 0) + 1
+        latencies.setdefault(tier, []).append(response.latency)
+        latencies["all"].append(response.latency)
+
+    faults = {}
+    if plan is not None:
+        faults = {f"{site}:{kind}": count
+                  for (site, kind), count in sorted(plan.triggered.items())}
+
+    return SoakReport(
+        duration=duration,
+        submitted=n_submitted,
+        answered=len(responses),
+        rejected=n_rejected,
+        conserved=bool(conserved),
+        tier1_parity=parity,
+        parity_checked=parity_checked,
+        by_tier=by_tier,
+        throughput=len(responses) / duration if duration > 0 else 0.0,
+        latency={tier: _latency_stats(vals)
+                 for tier, vals in sorted(latencies.items())},
+        faults_triggered=faults,
+        service_stats=service.stats(),
+    )
