@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint ci coverage check bench bench-full bench-perf bench-serve examples report clean-cache
+.PHONY: install test lint ci coverage check bench bench-full bench-perf bench-serve bench-robust examples report clean-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,12 +17,15 @@ lint:
 
 # Fast tier: everything except @pytest.mark.slow, for pre-push / CI loops.
 # Runs from a clean checkout (no `make install` needed) via PYTHONPATH.
-# Ends with a live `repro serve --soak` smoke: concurrent traffic + the
-# standard chaos plan, asserting conservation and tier-1 parity.
+# Ends with a live `repro serve --soak` smoke (concurrent traffic + the
+# standard chaos plan, asserting conservation and tier-1 parity) and a
+# fast firewall fuzz smoke (corrupted bytes through ingestion + serving,
+# asserting no crash and record conservation).
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro serve --dataset Beer --fast --soak \
 		--clients 3 --requests 4 --pairs 6 --workers 3 --capacity 8
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_guard_fuzz.py -q -k smoke
 
 # Line coverage of src/repro over the fast tier (tools/cov.py uses
 # coverage.py when installed, else a built-in settrace fallback).
@@ -44,6 +47,11 @@ bench-perf:
 # Serving-layer soak benchmark: clean/chaos/pressure, writes BENCH_serve.json.
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_serve.py
+
+# Corruption-robustness benchmark: F1 + quarantine/drift rates vs corruption
+# rate for HierGAT/Ditto/Magellan, writes BENCH_robust.json.
+bench-robust:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_robust.py
 
 bench-full:
 	$(PYTHON) benchmarks/run_all.py

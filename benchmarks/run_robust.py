@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Benchmark the data-quality firewall and write ``BENCH_robust.json``.
+
+Runs the corruption-robustness curve (see ``repro.harness.robustness``):
+test pairs perturbed at increasing rates with the adversarial mix (typos,
+nulls, attribute swaps, truncation, encoding garbage), routed through the
+:class:`~repro.guard.firewall.DataFirewall`, and scored by three matchers
+spanning the architecture range — HierGAT (the paper's model), Ditto
+(token serialization), and Magellan (classical features).  For every
+(matcher, rate) point the payload records F1 on the accepted pairs, the
+quarantine rate, and the drift-flag rate of the online monitors.
+
+Usage:
+    python benchmarks/run_robust.py             # CI scale (the acceptance run)
+    python benchmarks/run_robust.py --bench     # the larger benchmark scale
+"""
+
+import argparse
+import dataclasses
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_robust.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", action="store_true",
+                        help="use the larger benchmark scale instead of CI")
+    parser.add_argument("--dataset", default="Beer")
+    parser.add_argument("--matchers", nargs="+",
+                        default=["hiergat", "ditto", "magellan"])
+    parser.add_argument("--rates", nargs="+", type=float,
+                        default=[0.0, 0.2, 0.4])
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    from repro.config import Scale, set_scale
+    from repro.harness.robustness import robustness_series
+    from repro.reliability.counters import COUNTERS
+
+    scale = Scale.bench() if args.bench else Scale.ci()
+    set_scale(scale)
+    print(f"scale: max_pairs={scale.max_pairs} epochs={scale.epochs} "
+          f"dim={scale.hidden_dim}")
+    COUNTERS.reset()
+
+    print(f"robustness curve on {args.dataset}: matchers={args.matchers} "
+          f"rates={args.rates}", flush=True)
+    dataset, series = robustness_series(
+        args.dataset, matchers=args.matchers, rates=args.rates,
+        seed=args.seed, scale=scale)
+
+    ok = True
+    for entry in series:
+        print(f"  {entry['matcher']}:")
+        for point in entry["points"]:
+            print(f"    rate={point['corruption_rate']:.2f}  "
+                  f"F1={point['f1']:.1f}  "
+                  f"quarantined={point['quarantine_rate']:.1%}  "
+                  f"drift={point['drift_flagged']}/{point['drift_windows']}")
+        clean = entry["points"][0]
+        if clean["corruption_rate"] == 0.0 and (
+                clean["quarantined_records"] or clean["drift_flagged"]):
+            ok = False
+            print("    CLEAN-POINT VIOLATION: firewall touched clean data")
+
+    recovery = COUNTERS.as_dict()
+    payload = {
+        "experiment": "corruption robustness (firewall + drift monitors)",
+        "dataset": args.dataset,
+        "scale": dataclasses.asdict(scale),
+        "seed": args.seed,
+        "rates": args.rates,
+        "matchers": {entry["matcher"]: entry["points"] for entry in series},
+        "recovery_counters": {k: v for k, v in recovery.items() if v},
+        "invariants": {
+            "conservation": "accepted + quarantined == offered, asserted "
+                            "per (matcher, rate) point",
+            "clean_point_untouched": ok,
+        },
+        "notes": [
+            "perturbation mix: typo / null / attribute-swap / truncation / "
+            "encoding garbage, each test entity corrupted independently",
+            "every matcher scores the same corrupted pairs at a given rate",
+            "drift baselines frozen at fit time from each matcher's own "
+            "vocab and validation scores",
+            "rate 0.0 must quarantine nothing and flag no drift "
+            "(firewall transparency on clean data)",
+        ],
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, default=str) + "\n",
+                      encoding="utf-8")
+    print(f"\nwrote {OUTPUT}")
+    if not ok:
+        print("ROBUSTNESS INVARIANT FAILURE (see report)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,9 @@ documented per rule in ``docs/ANALYSIS.md``; the short version:
   ``reliability.faults.KNOWN_SITES``, and exercised by a test.
 * **R005** — weight-dependent cache entries must key on ``params_version``
   (and never on ``id()``).
+* **R006** — record-level ``except`` handlers in the data/serving/guard
+  packages must route the record somewhere (quarantine, a counter, a
+  result) or re-raise a typed error — never silently swallow it.
 
 All rules are static AST analyses: no file is imported or executed.
 """
@@ -803,6 +806,52 @@ class CacheKeyRule(Rule):
                     f"after an optimizer step")
 
 
+class SilentExceptRule(Rule):
+    """R006: no silent record swallowing on the data path.
+
+    The firewall's conservation invariant (``accepted + quarantined ==
+    offered``, docs/ROBUSTNESS.md) only holds if no exception handler on
+    the ingestion or serving path can make a record disappear without a
+    trace.  An ``except`` body in the ``data``/``serving``/``guard``
+    packages must therefore *do something attributable* with the failure:
+    re-raise (a typed :class:`~repro.guard.errors.DataError` for record
+    problems), call into the quarantine/counter machinery, or record an
+    explicit outcome (assign/return/yield).  Handlers whose body is only
+    ``pass``/``continue``/constants are flagged.
+    """
+
+    id = "R006"
+    name = "no-silent-record-swallowing"
+    description = ("except handlers on the data/serving path must route "
+                   "records through quarantine or re-raise typed errors, "
+                   "never silently swallow them")
+
+    #: Packages forming the record path (ingestion → firewall → serving).
+    _PACKAGES = {"data", "serving", "guard"}
+
+    #: Statement/expression kinds that make a handler attributable.
+    _ROUTED = (ast.Raise, ast.Call, ast.Return, ast.Yield, ast.YieldFrom,
+               ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._PACKAGES & set(ctx.rel.split("/")[:-1]):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            routed = any(
+                isinstance(sub, self._ROUTED)
+                for stmt in node.body for sub in ast.walk(stmt))
+            if not routed:
+                caught = (dotted_name(node.type) or "exception"
+                          if node.type is not None else "bare except")
+                yield ctx.finding(
+                    self, node,
+                    f"handler for {caught} silently swallows the record; "
+                    f"quarantine it (DataFirewall / quarantine_error) or "
+                    f"re-raise a typed DataError")
+
+
 def default_rules() -> List[Rule]:
     """The rule pack ``repro lint`` runs by default."""
     return [
@@ -811,4 +860,5 @@ def default_rules() -> List[Rule]:
         GradcheckCoverageRule(),
         FaultSiteRule(),
         CacheKeyRule(),
+        SilentExceptRule(),
     ]

@@ -8,7 +8,8 @@ Commands:
     inspect --dataset NAME        print sample pairs and dataset statistics
     profile --dataset NAME        train under the op-level profiler, print hot ops
     serve --dataset NAME          drive traffic through the online serving layer
-    lint [PATHS...]               check the determinism/gradient invariants (R001-R005)
+    quarantine --store PATH       inspect or replay a JSONL quarantine store
+    lint [PATHS...]               check the determinism/gradient invariants (R001-R006)
 """
 
 from __future__ import annotations
@@ -236,6 +237,50 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_quarantine(args) -> int:
+    """Inspect a quarantine store; with ``--replay``, re-offer every record.
+
+    Replay builds a fresh :class:`~repro.guard.firewall.DataFirewall` with
+    the (possibly relaxed) schema from the flags and offers each held
+    record again: records that now validate are removed from the store
+    (and written to ``--out`` if given), the rest stay quarantined and the
+    JSONL file is rewritten atomically.
+    """
+    import json as _json
+
+    from repro.guard import DataFirewall, QuarantineStore, RecordSchema
+
+    store = QuarantineStore.load(args.store)
+    if not len(store):
+        print(f"{args.store}: quarantine empty")
+        return 0
+    print(f"{args.store}: {len(store)} quarantined record(s)")
+    for reason, count in sorted(store.by_reason().items()):
+        print(f"  {reason:20s} {count}")
+    for record in store.records[:args.num]:
+        print(f"  [{record.reason}] {record.source}:row {record.row} "
+              f"uid={record.uid!r}  {record.detail}")
+    if len(store) > args.num:
+        print(f"  ... ({len(store) - args.num} more; raise --num to see them)")
+    if not args.replay:
+        return 0
+
+    schema = RecordSchema(max_value_chars=args.max_value_chars,
+                          max_null_fraction=args.max_null_fraction)
+    firewall = DataFirewall(schema=schema, store=store)
+    accepted, remaining = firewall.replay()
+    print(f"replay: {len(accepted)} accepted, {remaining} still quarantined "
+          f"({args.store} rewritten)")
+    if args.out and accepted:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for entity in accepted:
+                fh.write(_json.dumps({"uid": entity.uid,
+                                      "values": dict(entity.attributes)},
+                                     sort_keys=True) + "\n")
+        print(f"wrote {len(accepted)} replayed record(s) to {args.out}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the static invariant rules; exit 0 iff the tree is clean."""
     from repro.analysis import Analyzer
@@ -323,6 +368,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the full report as JSON")
 
+    quarantine = sub.add_parser(
+        "quarantine", help="inspect or replay a JSONL quarantine store")
+    quarantine.add_argument("--store", required=True,
+                            help="JSONL file written by a firewall's "
+                                 "QuarantineStore")
+    quarantine.add_argument("--replay", action="store_true",
+                            help="re-validate every held record; records "
+                                 "that now pass leave the store")
+    quarantine.add_argument("--num", type=int, default=5,
+                            help="sample records to print")
+    quarantine.add_argument("--max-value-chars", type=int, default=4096,
+                            help="schema bound used for replay validation")
+    quarantine.add_argument("--max-null-fraction", type=float, default=1.0,
+                            help="schema bound used for replay validation")
+    quarantine.add_argument("--out", default=None,
+                            help="write successfully replayed records here "
+                                 "(JSONL)")
+
     lint = sub.add_parser(
         "lint", help="statically check the determinism/gradient invariants")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
@@ -346,6 +409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inspect": cmd_inspect,
         "profile": cmd_profile,
         "serve": cmd_serve,
+        "quarantine": cmd_quarantine,
         "lint": cmd_lint,
     }
     return handlers[args.command](args)

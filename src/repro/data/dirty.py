@@ -9,7 +9,7 @@ the origin with NAN) for a fraction of the entities.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -39,10 +39,19 @@ def dirty_entity(entity: Entity, rng: np.random.Generator,
     return entity.replace_attributes([tuple(kv) for kv in items])
 
 
-def make_dirty(pairs: List[EntityPair], seed: int,
-               injection_prob: float = 0.5) -> List[EntityPair]:
-    """Apply dirty-data corruption to every entity in a pair list."""
-    rng = np.random.default_rng(seed)
+def make_dirty(pairs: List[EntityPair], seed: Optional[int] = None,
+               injection_prob: float = 0.5,
+               rng: Optional[np.random.Generator] = None) -> List[EntityPair]:
+    """Apply dirty-data corruption to every entity in a pair list.
+
+    All randomness flows through one ``numpy.random.Generator``: pass
+    ``rng`` to share a caller-owned stream (the corruption benchmark), or
+    ``seed`` to derive a fresh one.  Exactly one of the two is required.
+    """
+    if (rng is None) == (seed is None):
+        raise ValueError("pass exactly one of seed= or rng=")
+    if rng is None:
+        rng = np.random.default_rng(seed)
     return [
         EntityPair(
             left=dirty_entity(pair.left, rng, injection_prob),

@@ -3,33 +3,118 @@
 The real Magellan/DeepMatcher benchmarks ship as CSV triples
 (``tableA.csv``, ``tableB.csv``, ``matches.csv``); these helpers read that
 layout into the library's schema and write predictions back out.
+
+The readers are hardened against real-world corruption: ragged and
+over-wide rows, blank lines, BOMs, and undecodable bytes produce a typed
+:class:`~repro.guard.errors.DataError` carrying file + row provenance —
+never a bare ``IndexError``/``KeyError`` from deep inside the csv module.
+Pass a :class:`~repro.guard.firewall.DataFirewall` to *quarantine* bad rows
+instead of raising, under the conservation invariant
+``accepted + quarantined == offered`` (see ``docs/ROBUSTNESS.md``).
+Header-level problems (missing id/pair columns, a file with no usable
+rows) still raise ``ValueError``: there is nothing row-shaped to
+quarantine when the file itself is unusable.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.data.schema import Entity, EntityPair, PairDataset, split_pairs
+from repro.guard.errors import (
+    REASON_BAD_LABEL,
+    REASON_BLANK,
+    REASON_OVERWIDE,
+    REASON_RAGGED,
+    REASON_UNKNOWN_REF,
+    DataError,
+    RecordProvenance,
+)
 
 PathLike = Union[str, Path]
 
 
+def _read_rows(path: Path) -> Iterator[Tuple[int, List[str]]]:
+    """Yield ``(1-based data row number, cells)`` rows from a CSV file.
+
+    ``utf-8-sig`` strips a leading BOM; ``errors="replace"`` turns
+    undecodable bytes into U+FFFD so they surface as a typed
+    ``encoding_garbage`` rejection downstream instead of a
+    ``UnicodeDecodeError`` crash.  The header row is not yielded.
+    """
+    with path.open(newline="", encoding="utf-8-sig", errors="replace") as handle:
+        yield from enumerate(csv.reader(handle), start=0)
+
+
+def _check_shape(cells: List[str], width: int,
+                 provenance: RecordProvenance) -> None:
+    """Raise the typed shape errors: blank, ragged, or over-wide rows."""
+    if not cells or all(not cell.strip() for cell in cells):
+        raise DataError("blank row", REASON_BLANK, provenance)
+    if len(cells) < width:
+        raise DataError(
+            f"ragged row: {len(cells)} cells, header has {width}",
+            REASON_RAGGED, provenance)
+    if len(cells) > width:
+        raise DataError(
+            f"over-wide row: {len(cells)} cells, header has {width}",
+            REASON_OVERWIDE, provenance)
+
+
 def entities_from_csv(path: PathLike, id_column: str = "id",
-                      source: str = "") -> List[Entity]:
-    """Read one entity table; every non-id column becomes an attribute."""
+                      source: str = "",
+                      firewall: Optional["DataFirewall"] = None) -> List[Entity]:
+    """Read one entity table; every non-id column becomes an attribute.
+
+    Without a firewall, the first malformed row raises :class:`DataError`;
+    with one, malformed rows are quarantined and the clean rows returned.
+    """
+    from repro.guard.validate import RecordValidator
+
     path = Path(path)
+    source = source or path.stem
+    header: Optional[List[str]] = None
     entities: List[Entity] = []
-    with path.open(newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None or id_column not in reader.fieldnames:
-            raise ValueError(f"{path} has no {id_column!r} column")
-        for row in reader:
-            uid = row.pop(id_column)
-            entities.append(Entity.from_dict(uid, row, source=source or path.stem))
+    if firewall is not None:
+        # uid uniqueness is scoped per source file.
+        firewall.validator.reset()
+        strict = None
+    else:
+        strict = RecordValidator()
+    for index, cells in _read_rows(path):
+        if header is None:
+            header = cells
+            if id_column not in header:
+                raise ValueError(f"{path} has no {id_column!r} column")
+            id_index = header.index(id_column)
+            attr_keys = [key for key in header if key != id_column]
+            continue
+        provenance = RecordProvenance(str(path), index)
+        try:
+            _check_shape(cells, len(header), provenance)
+        except DataError as err:
+            if firewall is None:
+                raise
+            firewall.quarantine_error(
+                cells[id_index] if len(cells) > id_index else "",
+                dict(zip(attr_keys, (c for i, c in enumerate(cells)
+                                     if i != id_index))), err)
+            continue
+        uid = cells[id_index]
+        values = {key: cells[header.index(key)] for key in attr_keys}
+        if strict is not None:
+            entity = strict.validate(uid, values, provenance, source)
+        else:
+            entity = firewall.admit(uid, values, provenance, source)
+            if entity is None:
+                continue
+        entities.append(entity)
+    if header is None:
+        raise ValueError(f"{path} is empty (no header row)")
     if not entities:
         raise ValueError(f"{path} contains no rows")
     return entities
@@ -58,27 +143,62 @@ def labeled_pairs_from_csv(
     left_column: str = "ltable_id",
     right_column: str = "rtable_id",
     label_column: str = "label",
+    firewall: Optional["DataFirewall"] = None,
 ) -> List[EntityPair]:
-    """Read a labeled pair file referencing the two tables by id."""
+    """Read a labeled pair file referencing the two tables by id.
+
+    Without a firewall: malformed rows raise :class:`DataError`, pairs
+    naming unknown ids raise ``KeyError`` (the historical contract).  With
+    one, both are quarantined with typed reasons instead.
+    """
     index_a: Dict[str, Entity] = {e.uid: e for e in table_a}
     index_b: Dict[str, Entity] = {e.uid: e for e in table_b}
+    path = Path(pairs_path)
+    required = [left_column, right_column, label_column]
+    header: Optional[List[str]] = None
     pairs: List[EntityPair] = []
-    with Path(pairs_path).open(newline="", encoding="utf-8") as handle:
-        reader = csv.DictReader(handle)
-        required = {left_column, right_column, label_column}
-        if reader.fieldnames is None or not required <= set(reader.fieldnames):
-            raise ValueError(f"{pairs_path} must have columns {sorted(required)}")
-        for row in reader:
-            left = index_a.get(row[left_column])
-            right = index_b.get(row[right_column])
-            if left is None or right is None:
-                raise KeyError(
-                    f"pair references unknown id "
-                    f"({row[left_column]!r}, {row[right_column]!r})"
-                )
-            pairs.append(EntityPair(left=left, right=right, label=int(row[label_column])))
+    for index, cells in _read_rows(path):
+        if header is None:
+            header = cells
+            if not set(required) <= set(header):
+                raise ValueError(f"{path} must have columns {sorted(required)}")
+            columns = [header.index(c) for c in required]
+            continue
+        provenance = RecordProvenance(str(path), index)
+        try:
+            _check_shape(cells, len(header), provenance)
+            left_id, right_id, label_cell = (cells[i] for i in columns)
+            try:
+                label = int(label_cell)
+            except ValueError:
+                raise DataError(f"label {label_cell!r} is not 0/1",
+                                REASON_BAD_LABEL, provenance) from None
+            if label not in (0, 1):
+                raise DataError(f"label {label!r} is not 0/1",
+                                REASON_BAD_LABEL, provenance)
+        except DataError as err:
+            if firewall is None:
+                raise
+            firewall.quarantine_error("", dict(zip(header, cells)), err)
+            continue
+        left = index_a.get(left_id)
+        right = index_b.get(right_id)
+        if left is None or right is None:
+            err = DataError(
+                f"pair references unknown id ({left_id!r}, {right_id!r})",
+                REASON_UNKNOWN_REF, provenance)
+            if firewall is None:
+                raise KeyError(str(err))
+            firewall.quarantine_error("", dict(zip(header, cells)), err)
+            continue
+        if firewall is not None:
+            firewall.stats.count("offered")
+            firewall.stats.count("accepted")
+        pairs.append(EntityPair(left=left, right=right, label=label))
+    if header is None:
+        raise ValueError(f"{path} is empty (no header row)")
     if not pairs:
-        raise ValueError(f"{pairs_path} contains no pairs")
+        raise ValueError(f"{path} contains no pairs")
     return pairs
 
 
@@ -88,12 +208,14 @@ def dataset_from_csv(
     pairs_path: PathLike,
     name: str = "custom",
     seed: int = 0,
+    firewall: Optional["DataFirewall"] = None,
     **pair_columns,
 ) -> PairDataset:
     """Assemble a :class:`PairDataset` from the Magellan CSV triple layout."""
-    table_a = entities_from_csv(table_a_path, source="tableA")
-    table_b = entities_from_csv(table_b_path, source="tableB")
-    pairs = labeled_pairs_from_csv(pairs_path, table_a, table_b, **pair_columns)
+    table_a = entities_from_csv(table_a_path, source="tableA", firewall=firewall)
+    table_b = entities_from_csv(table_b_path, source="tableB", firewall=firewall)
+    pairs = labeled_pairs_from_csv(pairs_path, table_a, table_b,
+                                   firewall=firewall, **pair_columns)
     split = split_pairs(pairs, rng=np.random.default_rng(seed))
     return PairDataset(
         name=name,

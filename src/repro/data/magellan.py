@@ -282,7 +282,8 @@ ALIASES: Dict[str, str] = {
 
 
 def load_dataset(name: str, scale: Optional[Scale] = None, dirty: bool = False,
-                 seed: Optional[int] = None) -> PairDataset:
+                 seed: Optional[int] = None,
+                 firewall=None) -> PairDataset:
     """Generate a Magellan-style benchmark, split 3:1:1.
 
     Args:
@@ -292,6 +293,10 @@ def load_dataset(name: str, scale: Optional[Scale] = None, dirty: bool = False,
         dirty: apply the DeepMatcher dirty-data corruption (attribute values
             injected into other attributes).
         seed: RNG seed (defaults to the scale's seed).
+        firewall: optional :class:`~repro.guard.firewall.DataFirewall`; every
+            generated pair then passes validation, with invalid records
+            quarantined instead of entering the dataset (on this clean
+            generator the pass is a bitwise no-op).
     """
     name = ALIASES.get(name, name)
     if name not in MAGELLAN_DATASETS:
@@ -310,6 +315,8 @@ def load_dataset(name: str, scale: Optional[Scale] = None, dirty: bool = False,
     pairs = generate_pairs(info.spec, size, info.positive_ratio, seed=seed)
     if dirty:
         pairs = make_dirty(pairs, seed=seed + 1)
+    if firewall is not None:
+        pairs, _ = firewall.admit_pairs(pairs, source=name)
     split = split_pairs(pairs, rng=np.random.default_rng(seed + 2))
     return PairDataset(
         name=name + (" (dirty)" if dirty else ""),

@@ -95,11 +95,14 @@ def scaled_train_size(domain: str, size: str, scale: Scale) -> int:
 
 
 def load_wdc(domain: str, size: str = "medium", scale: Optional[Scale] = None,
-             seed: Optional[int] = None) -> PairDataset:
+             seed: Optional[int] = None, firewall=None) -> PairDataset:
     """Generate one WDC domain×size dataset with its fixed test set.
 
     ``domain`` may be one of :data:`WDC_DOMAINS` or ``"all"``, which pools the
-    four domains (the paper's multi-domain generality test).
+    four domains (the paper's multi-domain generality test).  ``firewall``
+    optionally routes every generated pair through
+    :meth:`~repro.guard.firewall.DataFirewall.admit_pairs` (a bitwise no-op
+    on this clean generator; invalid records would be quarantined).
     """
     scale = scale or get_scale()
     seed = scale.seed if seed is None else seed
@@ -107,7 +110,8 @@ def load_wdc(domain: str, size: str = "medium", scale: Optional[Scale] = None,
         raise KeyError(f"unknown WDC size {size!r}; known: {WDC_SIZES}")
 
     if domain == "all":
-        parts = [load_wdc(d, size=size, scale=scale, seed=seed + i)
+        parts = [load_wdc(d, size=size, scale=scale, seed=seed + i,
+                          firewall=firewall)
                  for i, d in enumerate(WDC_DOMAINS)]
         rng = np.random.default_rng(seed)
         split = Split(
@@ -127,6 +131,10 @@ def load_wdc(domain: str, size: str = "medium", scale: Optional[Scale] = None,
     test_pairs = generate_pairs(spec, n_test, _POSITIVE_RATIO, seed=seed + 9000)
     train_pool = generate_pairs(spec, n_train, _POSITIVE_RATIO, seed=seed + WDC_SIZES.index(size))
     n_valid = max(len(train_pool) // 5, 4)  # 4:1 train/validation
+    if firewall is not None:
+        source = f"WDC-{domain}-{size}"
+        train_pool, _ = firewall.admit_pairs(train_pool, source=source)
+        test_pairs, _ = firewall.admit_pairs(test_pairs, source=source)
     split = Split(train=train_pool[n_valid:], valid=train_pool[:n_valid], test=test_pairs)
     return PairDataset(
         name=f"WDC-{domain}-{size}",

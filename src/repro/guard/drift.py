@@ -1,0 +1,379 @@
+"""Online drift detection against training-time baselines.
+
+A :class:`DriftBaseline` freezes what "normal" traffic looks like at fit
+time: the LM vocabulary's OOV-token rate, per-attribute null rates, the
+value-length distribution, and (optionally) the score distribution on the
+validation split.  A :class:`DriftMonitor` then watches serving traffic in
+tumbling windows and compares each full window to the baseline:
+
+* **OOV rate** — fraction of tokens that miss the vocabulary; flagged when
+  it exceeds the baseline rate by more than an absolute margin.
+* **Null rate** — per-attribute fraction of ``nan`` values; flagged on a
+  margin exceedance for any attribute.
+* **Value length** — two-sample Kolmogorov–Smirnov test of the window's
+  value-length distribution against the baseline sample.
+* **Score shift** — KS *and* Population Stability Index of served tier-1
+  scores against the baseline score sample.
+
+The KS decision uses the asymptotic two-sample critical value
+``c(alpha) * sqrt((n + m) / (n * m))`` with ``c(alpha) =
+sqrt(-ln(alpha / 2) / 2)`` — the same large-sample rejection rule
+``scipy.stats.ks_2samp`` applies — computed directly in numpy so the
+monitor works (and tests behave identically) whether or not scipy is
+importable.  PSI uses baseline-quantile bins with the conventional 0.25
+alert threshold.
+
+Sustained drift — ``sustain`` consecutive flagged windows — sets
+:attr:`DriftMonitor.forcing`, which the serving layer can use to force the
+degradation cascade to tier 2 (reason ``"drift"``).  A clean window clears
+it.  Thresholds default to deliberately conservative values so a clean
+soak raises zero flags while every seeded-shift scenario trips within one
+window.
+
+Window evaluation is instrumented as fault site ``guard.drift``:
+``transient`` faults are absorbed by retry-with-backoff, and ``poison``
+garbles the computed window statistics, which the monitor detects as
+non-finite and recomputes through the same retry path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.schema import EntityPair, PairDataset
+from repro.reliability import COUNTERS, RetryPolicy, fault_point, retry_with_backoff
+from repro.text.tokenizer import tokenize
+from repro.text.vocab import NAN_TOKEN, Vocabulary
+
+#: Cap on the baseline length/score samples (keeps KS evaluation O(window)).
+_BASELINE_SAMPLE_CAP = 4096
+
+
+def ks_statistic(sample: np.ndarray, baseline: np.ndarray) -> float:
+    """Two-sample KS ``D`` statistic (max ECDF distance), pure numpy."""
+    sample = np.sort(np.asarray(sample, dtype=np.float64))
+    baseline = np.sort(np.asarray(baseline, dtype=np.float64))
+    if sample.size == 0 or baseline.size == 0:
+        return 0.0
+    grid = np.concatenate([sample, baseline])
+    cdf_s = np.searchsorted(sample, grid, side="right") / sample.size
+    cdf_b = np.searchsorted(baseline, grid, side="right") / baseline.size
+    return float(np.max(np.abs(cdf_s - cdf_b)))
+
+
+def ks_critical(n: int, m: int, alpha: float) -> float:
+    """Asymptotic two-sample KS rejection threshold at level ``alpha``."""
+    if n == 0 or m == 0:
+        return float("inf")
+    c_alpha = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c_alpha * math.sqrt((n + m) / (n * m))
+
+
+def psi(sample: np.ndarray, baseline: np.ndarray, bins: int = 10,
+        epsilon: float = 1e-4) -> float:
+    """Population Stability Index of ``sample`` against ``baseline``.
+
+    Bin edges are baseline quantiles, so each baseline bin holds ~1/bins of
+    the mass; ``epsilon`` floors empty bins to keep the log finite.
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    baseline = np.asarray(baseline, dtype=np.float64)
+    if sample.size == 0 or baseline.size == 0:
+        return 0.0
+    edges = np.quantile(baseline, np.linspace(0.0, 1.0, bins + 1))
+    edges = np.unique(edges)
+    if edges.size < 2:
+        return 0.0
+    edges[0], edges[-1] = -np.inf, np.inf
+    expected = np.histogram(baseline, bins=edges)[0] / baseline.size
+    actual = np.histogram(sample, bins=edges)[0] / sample.size
+    expected = np.clip(expected, epsilon, None)
+    actual = np.clip(actual, epsilon, None)
+    return float(np.sum((actual - expected) * np.log(actual / expected)))
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftThresholds:
+    """Window sizes and alert bounds for :class:`DriftMonitor`."""
+
+    #: Entities (input monitors) / scores (score monitor) per window.
+    window: int = 128
+    #: KS significance level (small: a clean soak must raise zero flags).
+    ks_alpha: float = 1e-3
+    #: PSI alert threshold (0.25 is the conventional "significant shift").
+    psi_threshold: float = 0.25
+    #: Minimum scores in a window before PSI applies.  PSI has no
+    #: sample-size correction, so below ~dozens of samples per bin it is
+    #: sampling noise; small windows rely on the KS test alone (whose
+    #: critical value does shrink with ``n``).
+    psi_min_count: int = 64
+    #: Absolute OOV-rate increase over baseline that counts as drift.
+    oov_margin: float = 0.15
+    #: Absolute per-attribute null-rate increase that counts as drift.
+    null_margin: float = 0.20
+    #: Consecutive flagged windows before :attr:`DriftMonitor.forcing` trips.
+    sustain: int = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftBaseline:
+    """What fit-time traffic looked like; frozen, compared against forever."""
+
+    #: In-vocabulary token strings (from the LM vocab at fit time).
+    known_tokens: frozenset
+    #: Fraction of training tokens outside ``known_tokens``.
+    oov_rate: float
+    #: Per-attribute fraction of ``nan`` values at fit time.
+    null_rates: Tuple[Tuple[str, float], ...]
+    #: Sample of non-null value lengths (characters).
+    length_sample: Tuple[float, ...]
+    #: Sample of scores on the validation split (empty = score drift off).
+    score_sample: Tuple[float, ...] = ()
+
+    @classmethod
+    def from_dataset(cls, dataset: PairDataset,
+                     vocab: Optional[Vocabulary] = None,
+                     scores: Optional[Sequence[float]] = None) -> "DriftBaseline":
+        """Freeze a baseline from every pair of ``dataset``.
+
+        All splits contribute (the whole benchmark dataset is available at
+        fit time and drawn from one distribution — using only train+valid
+        would mis-flag clean test traffic whose ids/numbers are unseen).
+        ``vocab`` comes from the trained matcher's encoder; without one the
+        OOV monitor is calibrated against a vocabulary built from the same
+        pairs (rate ~0).  ``scores`` are the matcher's validation-split
+        scores; omit to disable the score-shift monitor.
+        """
+        entities = [e for p in dataset.pairs for e in (p.left, p.right)]
+        tokens: List[str] = []
+        lengths: List[float] = []
+        null_counts: Dict[str, int] = {}
+        totals: Dict[str, int] = {}
+        for entity in entities:
+            for key, value in entity.attributes:
+                totals[key] = totals.get(key, 0) + 1
+                if value == NAN_TOKEN:
+                    null_counts[key] = null_counts.get(key, 0) + 1
+                else:
+                    lengths.append(float(len(value)))
+                    tokens.extend(tokenize(value))
+        if vocab is not None:
+            known = frozenset(t for t in sorted(set(tokens)) if t in vocab)
+        else:
+            known = frozenset(tokens)
+        oov = (sum(1 for t in tokens if t not in known) / len(tokens)
+               if tokens else 0.0)
+        null_rates = tuple(sorted(
+            (key, null_counts.get(key, 0) / total)
+            for key, total in totals.items()))
+        return cls(
+            known_tokens=known,
+            oov_rate=float(oov),
+            null_rates=null_rates,
+            length_sample=tuple(lengths[:_BASELINE_SAMPLE_CAP]),
+            score_sample=tuple(float(s) for s in
+                               (scores or ())[:_BASELINE_SAMPLE_CAP]),
+        )
+
+    @property
+    def null_rate_map(self) -> Dict[str, float]:
+        return dict(self.null_rates)
+
+
+class DriftMonitor:
+    """Tumbling-window drift monitor over serving traffic.
+
+    Thread-safe: the serving worker pool calls :meth:`observe_pairs` and
+    :meth:`observe_scores` concurrently; one lock guards the window
+    buffers and flag state.
+    """
+
+    def __init__(self, baseline: DriftBaseline,
+                 thresholds: DriftThresholds = DriftThresholds(),
+                 retry_policy: RetryPolicy = RetryPolicy()):
+        self.baseline = baseline
+        self.thresholds = thresholds
+        self.retry_policy = retry_policy
+        self._lock = threading.Lock()
+        # Input-window buffers (entities).
+        self._entities = 0
+        self._oov = 0
+        self._tokens = 0
+        self._null_counts: Dict[str, int] = {}
+        self._attr_totals: Dict[str, int] = {}
+        self._lengths: List[float] = []
+        # Score-window buffer.
+        self._scores: List[float] = []
+        # Flag state.
+        self.windows_evaluated = 0
+        self.flags: List[Tuple[int, Tuple[str, ...]]] = []
+        self._consecutive = 0
+        self._forcing = False
+        self._baseline_lengths = np.asarray(baseline.length_sample,
+                                            dtype=np.float64)
+        self._baseline_scores = np.asarray(baseline.score_sample,
+                                           dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    @property
+    def forcing(self) -> bool:
+        """True while sustained drift should force the cascade to tier 2."""
+        with self._lock:
+            return self._forcing
+
+    @property
+    def flag_count(self) -> int:
+        with self._lock:
+            return len(self.flags)
+
+    def flag_reasons(self) -> Tuple[str, ...]:
+        """All distinct reasons across flagged windows, sorted."""
+        with self._lock:
+            return tuple(sorted({r for _, reasons in self.flags
+                                 for r in reasons}))
+
+    # ------------------------------------------------------------------
+    def observe_pairs(self, pairs: Sequence[EntityPair]) -> None:
+        """Feed admitted request pairs into the input-drift window."""
+        for pair in pairs:
+            for entity in (pair.left, pair.right):
+                self._observe_entity(entity)
+
+    def _observe_entity(self, entity) -> None:
+        with self._lock:
+            self._entities += 1
+            for key, value in entity.attributes:
+                self._attr_totals[key] = self._attr_totals.get(key, 0) + 1
+                if value == NAN_TOKEN:
+                    self._null_counts[key] = self._null_counts.get(key, 0) + 1
+                else:
+                    self._lengths.append(float(len(value)))
+                    for token in tokenize(value):
+                        self._tokens += 1
+                        if token not in self.baseline.known_tokens:
+                            self._oov += 1
+            full = self._entities >= self.thresholds.window
+        if full:
+            self._evaluate_input_window()
+
+    def observe_scores(self, scores: Sequence[float]) -> None:
+        """Feed served tier-1 scores into the score-drift window."""
+        if self._baseline_scores.size == 0:
+            return
+        with self._lock:
+            self._scores.extend(float(s) for s in scores)
+            full = len(self._scores) >= self.thresholds.window
+        if full:
+            self._evaluate_score_window()
+
+    # ------------------------------------------------------------------
+    def _evaluate_input_window(self) -> None:
+        with self._lock:
+            if self._entities < self.thresholds.window:
+                return  # another thread already evaluated this window
+            oov, tokens = self._oov, self._tokens
+            nulls = dict(self._null_counts)
+            totals = dict(self._attr_totals)
+            lengths = np.asarray(self._lengths, dtype=np.float64)
+            self._entities = self._oov = self._tokens = 0
+            self._null_counts, self._attr_totals = {}, {}
+            self._lengths = []
+
+        def compute() -> Dict[str, float]:
+            stats = {"oov_rate": oov / tokens if tokens else 0.0}
+            base_nulls = self.baseline.null_rate_map
+            worst = 0.0
+            for key, total in totals.items():
+                rate = nulls.get(key, 0) / total
+                worst = max(worst, rate - base_nulls.get(key, 0.0))
+            stats["null_excess"] = worst
+            stats["length_ks"] = ks_statistic(lengths, self._baseline_lengths)
+            stats["length_ks_critical"] = ks_critical(
+                lengths.size, self._baseline_lengths.size,
+                self.thresholds.ks_alpha)
+            return stats
+
+        stats = self._checked_stats(compute)
+        reasons = []
+        if stats["oov_rate"] > self.baseline.oov_rate + self.thresholds.oov_margin:
+            reasons.append("oov_rate")
+        if stats["null_excess"] > self.thresholds.null_margin:
+            reasons.append("null_rate")
+        if stats["length_ks"] > stats["length_ks_critical"]:
+            reasons.append("value_length")
+        self._record_window(tuple(reasons))
+
+    def _evaluate_score_window(self) -> None:
+        with self._lock:
+            if len(self._scores) < self.thresholds.window:
+                return
+            scores = np.asarray(self._scores, dtype=np.float64)
+            self._scores = []
+
+        def compute() -> Dict[str, float]:
+            return {
+                "score_ks": ks_statistic(scores, self._baseline_scores),
+                "score_ks_critical": ks_critical(
+                    scores.size, self._baseline_scores.size,
+                    self.thresholds.ks_alpha),
+                "score_psi": psi(scores, self._baseline_scores),
+            }
+
+        stats = self._checked_stats(compute)
+        psi_applies = scores.size >= self.thresholds.psi_min_count
+        reasons = []
+        if (stats["score_ks"] > stats["score_ks_critical"]
+                or (psi_applies
+                    and stats["score_psi"] > self.thresholds.psi_threshold)):
+            reasons.append("score_shift")
+        self._record_window(tuple(reasons))
+
+    def _checked_stats(self, compute) -> Dict[str, float]:
+        """Run ``compute`` under the ``guard.drift`` fault site.
+
+        ``transient`` faults retry; ``poison`` garbles the stats, which the
+        finiteness check rejects back into the same retry path.
+        """
+        def attempt() -> Dict[str, float]:
+            kind = fault_point("guard.drift")
+            stats = compute()
+            if kind == "poison":
+                stats = {key: float("nan") for key in stats}
+            # NaN (not inf) is the garbled-stats signature: an empty window
+            # legitimately yields an infinite KS critical value ("cannot
+            # reject"), which must pass through, not retry.
+            if any(math.isnan(v) for v in stats.values()):
+                raise OSError("garbled drift statistics; recomputing")
+            return stats
+        return retry_with_backoff(attempt, policy=self.retry_policy,
+                                  description="drift window evaluation")
+
+    def _record_window(self, reasons: Tuple[str, ...]) -> None:
+        with self._lock:
+            self.windows_evaluated += 1
+            if reasons:
+                self.flags.append((self.windows_evaluated, reasons))
+                self._consecutive += 1
+                if self._consecutive >= self.thresholds.sustain:
+                    self._forcing = True
+            else:
+                self._consecutive = 0
+                self._forcing = False
+        if reasons:
+            COUNTERS.increment("drift_flags")
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "windows_evaluated": self.windows_evaluated,
+                "flagged_windows": len(self.flags),
+                "forcing": self._forcing,
+                "pending_entities": self._entities,
+                "pending_scores": len(self._scores),
+            }

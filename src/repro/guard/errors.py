@@ -1,0 +1,68 @@
+"""Typed data-quality errors with row provenance.
+
+Every malformed record the firewall sees is described by a *typed reason*
+(one of :data:`REASONS`) plus a :class:`RecordProvenance` naming the file
+(or stream) and row it came from, so a quarantined record can always be
+traced back to its source and replayed after a fix.
+
+Stdlib-only on purpose: this module is imported from ``repro.data.io`` and
+must not pull in the rest of the guard package (which imports the data
+schema — keeping this module leaf-level avoids the cycle).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+#: Typed quarantine/rejection reasons.  ``DataError.reason`` and
+#: ``QuarantinedRecord.reason`` are always one of these strings.
+REASON_RAGGED = "ragged_row"          # fewer cells than the header
+REASON_OVERWIDE = "overwide_row"      # more cells than the header
+REASON_BLANK = "blank_row"            # empty line / all-empty cells
+REASON_ENCODING = "encoding_garbage"  # undecodable bytes, NUL, U+FFFD
+REASON_BAD_TYPE = "bad_type"          # non-string attribute value
+REASON_ARITY = "arity_mismatch"       # attribute set differs from schema
+REASON_NULL_EXCESS = "null_excess"    # too many null attributes
+REASON_TOO_LONG = "value_too_long"    # value exceeds the length bound
+REASON_DUPLICATE_ID = "duplicate_id"  # uid already seen in this source
+REASON_MISSING_ID = "missing_id"      # empty / absent uid
+REASON_BAD_LABEL = "bad_label"        # pair label not parseable as 0/1
+REASON_UNKNOWN_REF = "unknown_reference"  # pair references an unknown uid
+REASON_INJECTED = "fault_injected"    # guard.validate corrupt fault fired
+
+REASONS = (
+    REASON_RAGGED, REASON_OVERWIDE, REASON_BLANK, REASON_ENCODING,
+    REASON_BAD_TYPE, REASON_ARITY, REASON_NULL_EXCESS, REASON_TOO_LONG,
+    REASON_DUPLICATE_ID, REASON_MISSING_ID, REASON_BAD_LABEL,
+    REASON_UNKNOWN_REF, REASON_INJECTED,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordProvenance:
+    """Where a record came from: a source name and a 1-based row index."""
+
+    source: str
+    row: int
+
+    def __str__(self) -> str:
+        return f"{self.source}:row {self.row}"
+
+
+class DataError(ValueError):
+    """A malformed record, carrying its typed reason and provenance.
+
+    Raised by the hardened loaders when no firewall is active; when a
+    :class:`~repro.guard.firewall.DataFirewall` is attached the same
+    information is routed to the quarantine store instead of raising.
+    """
+
+    def __init__(self, message: str, reason: str,
+                 provenance: Optional[RecordProvenance] = None):
+        if reason not in REASONS:
+            raise ValueError(f"unknown data-error reason {reason!r}")
+        where = f" [{provenance}]" if provenance is not None else ""
+        super().__init__(f"{message}{where}")
+        self.reason = reason
+        self.provenance = provenance

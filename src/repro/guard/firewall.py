@@ -1,0 +1,219 @@
+"""The data-quality firewall: validate, quarantine, conserve.
+
+:class:`DataFirewall` is the single admission point malformed data can
+take into the pipeline: loaders offer raw rows via :meth:`DataFirewall.admit`,
+the serving layer offers request pairs via :meth:`DataFirewall.admit_pairs`,
+and every offered record either comes back as a validated
+:class:`~repro.data.schema.Entity` or lands in the quarantine store with a
+typed reason — never an unhandled exception, never a silent drop.
+:class:`FirewallStats` tracks the conservation invariant
+``accepted + quarantined == offered`` that the unit tests, the fuzz smoke,
+and the chaos soak all assert.
+
+Validation is instrumented as fault site ``guard.validate``: ``transient``
+faults are absorbed by retry-with-backoff (``transient_retries``), and
+``corrupt`` faults quarantine the record under the ``fault_injected``
+reason — conservation holds even while the firewall itself is failing.
+
+Quarantined records can be replayed after a fix via :meth:`replay`
+(surfaced as ``repro quarantine --replay``); each record that now passes
+is removed from the store and counted in ``records_replayed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.schema import Entity, EntityPair
+from repro.guard.drift import DriftMonitor
+from repro.guard.errors import REASON_INJECTED, DataError, RecordProvenance
+from repro.guard.quarantine import QuarantinedRecord, QuarantineStore
+from repro.guard.validate import RecordSchema, RecordValidator
+from repro.reliability import (
+    COUNTERS,
+    RetryPolicy,
+    fault_point,
+    retry_with_backoff,
+)
+
+
+class FirewallStats:
+    """Lock-protected offered/accepted/quarantined/replayed tallies."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.offered = 0
+        self.accepted = 0
+        self.quarantined = 0
+        self.replayed = 0
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    @property
+    def conserved(self) -> bool:
+        """The invariant: every offered record is accepted or quarantined."""
+        with self._lock:
+            return self.accepted + self.quarantined == self.offered
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "accepted": self.accepted,
+                "quarantined": self.quarantined,
+                "replayed": self.replayed,
+            }
+
+
+class DataFirewall:
+    """Schema validator + quarantine store + optional drift monitor."""
+
+    def __init__(self, schema: RecordSchema = RecordSchema(),
+                 store: Optional[QuarantineStore] = None,
+                 monitor: Optional[DriftMonitor] = None,
+                 retry_policy: RetryPolicy = RetryPolicy()):
+        self.validator = RecordValidator(schema)
+        self.store = store if store is not None else QuarantineStore()
+        self.monitor = monitor
+        self.retry_policy = retry_policy
+        self.stats = FirewallStats()
+
+    # ------------------------------------------------------------------
+    def admit(self, uid: object, values: Dict[str, object],
+              provenance: Optional[RecordProvenance] = None,
+              source: str = "") -> Optional[Entity]:
+        """Offer one raw record; an Entity if accepted, None if quarantined."""
+        return self._offer(uid, values, provenance, source,
+                           lambda: self.validator.validate(
+                               uid, values, provenance, source))
+
+    def admit_entity(self, entity: Entity,
+                     provenance: Optional[RecordProvenance] = None
+                     ) -> Optional[Entity]:
+        """Offer an already-constructed entity (the serving submit path).
+
+        Duplicate-id tracking is off here: the same entity legitimately
+        appears in many request pairs.
+        """
+        return self._offer(entity.uid, dict(entity.attributes), provenance,
+                           entity.source,
+                           lambda: self.validator.validate_entity(
+                               entity, provenance))
+
+    def quarantine_error(self, uid: object, values: Dict[str, object],
+                         error: DataError) -> None:
+        """Offer a record a *loader* already rejected (ragged row etc.)."""
+        self.stats.count("offered")
+        self._quarantine(uid, values, error)
+
+    def admit_pairs(self, pairs: Sequence[EntityPair], source: str = ""
+                    ) -> Tuple[List[EntityPair], int]:
+        """Offer request pairs; returns (accepted pairs, records quarantined).
+
+        A pair survives only if *both* sides pass validation; clean pairs
+        come back containing the exact same Entity objects they arrived
+        with (bitwise transparency).  Accepted pairs feed the drift
+        monitor's input windows.
+        """
+        accepted: List[EntityPair] = []
+        quarantined = 0
+        for row, pair in enumerate(pairs, start=1):
+            provenance = RecordProvenance(source or "request", row)
+            left = self.admit_entity(pair.left, provenance)
+            right = self.admit_entity(pair.right, provenance)
+            quarantined += (left is None) + (right is None)
+            if left is None or right is None:
+                continue
+            if left is pair.left and right is pair.right:
+                accepted.append(pair)
+            else:
+                accepted.append(EntityPair(left=left, right=right,
+                                           label=pair.label))
+        if self.monitor is not None and accepted:
+            self.monitor.observe_pairs(accepted)
+        return accepted, quarantined
+
+    # ------------------------------------------------------------------
+    def _offer(self, uid, values, provenance, source, validate):
+        self.stats.count("offered")
+
+        def attempt() -> Entity:
+            kind = fault_point("guard.validate", source=source)
+            if kind == "corrupt":
+                raise DataError("injected validation fault", REASON_INJECTED,
+                                provenance)
+            return validate()
+
+        try:
+            entity = retry_with_backoff(attempt, policy=self.retry_policy,
+                                        description="firewall validation")
+        except DataError as err:
+            self._quarantine(uid, values, err)
+            return None
+        self.stats.count("accepted")
+        return entity
+
+    def _quarantine(self, uid, values, error: DataError) -> None:
+        provenance = error.provenance or RecordProvenance("", 0)
+        self.store.add(QuarantinedRecord(
+            uid=str(uid),
+            values=tuple((str(k), v if isinstance(v, str) else repr(v))
+                         for k, v in dict(values).items()),
+            source=provenance.source,
+            row=provenance.row,
+            reason=error.reason,
+            detail=str(error),
+        ))
+        self.stats.count("quarantined")
+        COUNTERS.increment("records_quarantined")
+
+    # ------------------------------------------------------------------
+    def replay(self) -> Tuple[List[Entity], int]:
+        """Re-offer every quarantined record; (accepted entities, still held).
+
+        Records that now validate are removed from the store and counted in
+        ``records_replayed``; the rest stay quarantined (each failed replay
+        adds a fresh quarantine entry in the stats, so conservation keeps
+        holding: a replay is a new offer).
+        """
+        accepted: List[Entity] = []
+        for record in self.store.records:
+            self.store.remove(record)
+            entity = self.admit(
+                record.uid, record.values_dict,
+                RecordProvenance(record.source, record.row),
+                source=record.source)
+            if entity is not None:
+                accepted.append(entity)
+                self.stats.count("replayed")
+                COUNTERS.increment("records_replayed")
+        self.store.rewrite()
+        return accepted, len(self.store)
+
+
+@dataclasses.dataclass(frozen=True)
+class _FirewallSummary:
+    """Flat stats view used by ``InferenceService.stats()`` and the CLI."""
+
+    offered: int
+    accepted: int
+    quarantined: int
+    replayed: int
+    conserved: bool
+    by_reason: Dict[str, int]
+
+
+def summarize(firewall: DataFirewall) -> _FirewallSummary:
+    snap = firewall.stats.snapshot()
+    return _FirewallSummary(
+        offered=snap["offered"],
+        accepted=snap["accepted"],
+        quarantined=snap["quarantined"],
+        replayed=snap["replayed"],
+        conserved=firewall.stats.conserved,
+        by_reason=firewall.store.by_reason(),
+    )

@@ -1,0 +1,103 @@
+"""Adversarial record perturbations for the corruption benchmark.
+
+Generators layered on :mod:`repro.data.dirty` (the paper's attribute-swap
+protocol) that mangle entities the ways real-world feeds do: character
+typos, nulled attributes, truncation, and outright encoding garbage.  All
+randomness flows through an injected ``numpy.random.Generator`` (R001), so
+a corruption curve is a pure function of its seed.
+
+``corrupt_pairs(pairs, rate, rng)`` is the benchmark entry point: each
+entity is independently perturbed with probability ``rate`` by a kind
+drawn uniformly from ``kinds``.  Note ``"garbage"`` produces values the
+firewall *quarantines* (control bytes), while the other kinds produce
+valid-but-degraded records that flow through to the matcher — the
+benchmark separates the two effects (quarantine rate vs F1 drop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dirty import dirty_entity
+from repro.data.schema import Entity, EntityPair
+from repro.text.vocab import NAN_TOKEN
+
+#: Perturbation kinds, in benchmark order.
+KINDS: Tuple[str, ...] = ("typo", "null", "swap", "truncate", "garbage")
+
+_TYPO_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def typo_value(value: str, rng: np.random.Generator,
+               edits: int = 2) -> str:
+    """Apply character-level edits (delete / replace / transpose)."""
+    chars = list(value)
+    for _ in range(edits):
+        if not chars:
+            break
+        pos = int(rng.integers(0, len(chars)))
+        op = int(rng.integers(0, 3))
+        if op == 0:
+            del chars[pos]
+        elif op == 1:
+            chars[pos] = _TYPO_ALPHABET[int(rng.integers(0, len(_TYPO_ALPHABET)))]
+        elif pos + 1 < len(chars):
+            chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    return "".join(chars)
+
+
+def _pick_attr(entity: Entity, rng: np.random.Generator) -> int:
+    """Index of a random non-null attribute, or -1 if none exist."""
+    candidates = [i for i, (_, v) in enumerate(entity.attributes)
+                  if v != NAN_TOKEN]
+    if not candidates:
+        return -1
+    return candidates[int(rng.integers(0, len(candidates)))]
+
+
+def perturb_entity(entity: Entity, kind: str,
+                   rng: np.random.Generator) -> Entity:
+    """Apply one perturbation ``kind`` to ``entity`` (pure, returns a copy)."""
+    if kind == "swap":
+        return dirty_entity(entity, rng, injection_prob=1.0)
+    index = _pick_attr(entity, rng)
+    if index < 0:
+        return entity
+    items = [list(kv) for kv in entity.attributes]
+    key, value = items[index]
+    if kind == "typo":
+        items[index][1] = typo_value(value, rng) or NAN_TOKEN
+    elif kind == "null":
+        items[index][1] = NAN_TOKEN
+    elif kind == "truncate":
+        keep = int(rng.integers(0, max(1, len(value) // 2)))
+        items[index][1] = value[:keep] if keep else NAN_TOKEN
+    elif kind == "garbage":
+        cut = int(rng.integers(0, len(value) + 1))
+        junk = chr(int(rng.integers(0x00, 0x09)))
+        items[index][1] = value[:cut] + junk + value[cut:]
+    else:
+        raise ValueError(f"unknown perturbation kind {kind!r}; "
+                         f"choose from {KINDS}")
+    return entity.replace_attributes([tuple(kv) for kv in items])
+
+
+def corrupt_pairs(pairs: Sequence[EntityPair], rate: float,
+                  rng: np.random.Generator,
+                  kinds: Sequence[str] = KINDS) -> List[EntityPair]:
+    """Independently perturb each entity with probability ``rate``."""
+    if not kinds:
+        raise ValueError("need at least one perturbation kind")
+    out = []
+    for pair in pairs:
+        sides = []
+        for entity in (pair.left, pair.right):
+            if rng.random() < rate:
+                kind = kinds[int(rng.integers(0, len(kinds)))]
+                entity = perturb_entity(entity, kind, rng)
+            sides.append(entity)
+        out.append(EntityPair(left=sides[0], right=sides[1],
+                              label=pair.label))
+    return out

@@ -1,0 +1,126 @@
+"""Quarantine store: where invalid records go instead of crashing a run.
+
+Every record the firewall rejects becomes a :class:`QuarantinedRecord`
+carrying its raw values, its provenance (source + row), and the typed
+reason it failed, so nothing is silently dropped — the conservation
+invariant ``accepted + quarantined == offered`` is checked by
+:class:`~repro.guard.firewall.FirewallStats`.
+
+The store is an in-memory list with optional JSONL persistence (one record
+per line, append-only on ``add``), which is what the ``repro quarantine``
+CLI reads back for inspection and ``--replay``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class QuarantinedRecord:
+    """One rejected record: raw payload + provenance + typed reason."""
+
+    uid: str
+    values: Tuple[Tuple[str, str], ...]
+    source: str
+    row: int
+    reason: str
+    detail: str = ""
+
+    @property
+    def values_dict(self) -> Dict[str, str]:
+        return dict(self.values)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "uid": self.uid,
+            "values": dict(self.values),
+            "source": self.source,
+            "row": self.row,
+            "reason": self.reason,
+            "detail": self.detail,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "QuarantinedRecord":
+        raw = json.loads(line)
+        return cls(
+            uid=str(raw.get("uid", "")),
+            values=tuple((str(k), v) for k, v in raw.get("values", {}).items()),
+            source=str(raw.get("source", "")),
+            row=int(raw.get("row", 0)),
+            reason=str(raw.get("reason", "")),
+            detail=str(raw.get("detail", "")),
+        )
+
+
+class QuarantineStore:
+    """Thread-safe list of quarantined records, optionally JSONL-backed.
+
+    ``path=None`` keeps the store purely in memory (the default for tests
+    and serving); with a path every ``add`` appends one JSON line so a
+    crashed ingestion run loses nothing.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: List[QuarantinedRecord] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def records(self) -> Tuple[QuarantinedRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def by_reason(self) -> Dict[str, int]:
+        """Histogram of quarantine reasons (for stats / CLI output)."""
+        with self._lock:
+            return dict(Counter(r.reason for r in self._records))
+
+    def add(self, record: QuarantinedRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(record.to_json() + "\n")
+
+    def remove(self, record: QuarantinedRecord) -> None:
+        """Drop a record (it was successfully replayed)."""
+        with self._lock:
+            self._records.remove(record)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def rewrite(self) -> None:
+        """Rewrite the JSONL file to match the in-memory state (post-replay)."""
+        if self.path is None:
+            return
+        with self._lock:
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in self._records:
+                    fh.write(record.to_json() + "\n")
+            os.replace(tmp, self.path)
+
+    @classmethod
+    def load(cls, path: str) -> "QuarantineStore":
+        """Read a JSONL quarantine file back into a store."""
+        store = cls(path=path)
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        store._records.append(QuarantinedRecord.from_json(line))
+        return store

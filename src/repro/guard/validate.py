@@ -1,0 +1,199 @@
+"""Schema-driven record validation and canonicalization.
+
+The validator is the firewall's first stage: every record offered to
+ingestion or serving passes through :meth:`RecordValidator.validate` (raw
+``uid -> values`` mappings) or :meth:`RecordValidator.validate_entity`
+(already-constructed :class:`~repro.data.schema.Entity` objects).  A valid
+record comes back canonicalized; an invalid one raises a typed
+:class:`~repro.guard.errors.DataError` that the firewall converts into a
+quarantine entry.
+
+Canonicalization is deliberately conservative so the firewall is invisible
+on clean data (the bitwise-identity acceptance criterion): a value with no
+suspicious characters is returned as the *same* string object, repairable
+junk (BOM, zero-width characters, stray CR/LF/TAB) is stripped, and real
+encoding garbage (NUL and other control bytes, U+FFFD replacement
+characters from undecodable input) fails validation instead of being
+guessed at.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Set, Tuple
+
+from repro.data.schema import Entity
+from repro.guard.errors import (
+    REASON_ARITY,
+    REASON_BAD_TYPE,
+    REASON_DUPLICATE_ID,
+    REASON_ENCODING,
+    REASON_MISSING_ID,
+    REASON_NULL_EXCESS,
+    REASON_TOO_LONG,
+    DataError,
+    RecordProvenance,
+)
+from repro.text.vocab import NAN_TOKEN
+
+#: Characters canonicalization silently removes: byte-order marks and
+#: zero-width code points that survive copy/paste, plus CR (normalized
+#: line endings).  TAB/LF inside a cell become single spaces.
+_STRIPPED = "\ufeff\u200b\u200c\u200d\u2060"
+_SPACED = "\t\n\r"
+
+#: Characters that mark a value as encoding garbage: the C0/C1 control
+#: ranges (minus whitespace handled above), DEL, and the U+FFFD
+#: replacement character produced when undecodable bytes are read with
+#: ``errors="replace"``.
+_GARBAGE: Set[str] = {chr(c) for c in range(0x00, 0x20)} - set(_SPACED)
+_GARBAGE |= {chr(c) for c in range(0x7F, 0xA0)} | {"\ufffd"}
+
+
+def canonicalize_value(value: str) -> str:
+    """Repair a cell value, or raise ``ValueError`` on encoding garbage.
+
+    Returns ``value`` itself (same object) when nothing needed repair, so
+    clean data is bitwise-unaffected by the firewall.
+    """
+    for ch in value:
+        if ch in _GARBAGE:
+            raise ValueError(f"encoding garbage {ch!r}")
+        if ch in _STRIPPED or ch in _SPACED:
+            break
+    else:
+        return value
+    out = []
+    for ch in value:
+        if ch in _GARBAGE:
+            raise ValueError(f"encoding garbage {ch!r}")
+        if ch in _STRIPPED:
+            continue
+        out.append(" " if ch in _SPACED else ch)
+    return " ".join("".join(out).split())
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordSchema:
+    """Validation bounds for one record source.
+
+    ``attributes=()`` accepts any attribute set (the keys are then fixed by
+    the first record the caller sees, not by the schema).
+    """
+
+    #: Expected attribute names, in order; empty = accept any.
+    attributes: Tuple[str, ...] = ()
+    #: Hard per-value length bound (characters).
+    max_value_chars: int = 4096
+    #: Reject records where more than this fraction of values is null.
+    max_null_fraction: float = 1.0
+    #: Reject duplicate uids within one validator lifetime.
+    require_unique_ids: bool = True
+
+    @classmethod
+    def for_dataset(cls, dataset, **overrides) -> "RecordSchema":
+        """Schema matching a :class:`PairDataset`'s attribute layout."""
+        first = dataset.pairs[0].left if dataset.pairs else None
+        attrs = first.keys if first is not None else ()
+        return cls(attributes=tuple(attrs), **overrides)
+
+
+class RecordValidator:
+    """Applies a :class:`RecordSchema` to raw rows and entities."""
+
+    def __init__(self, schema: RecordSchema = RecordSchema()):
+        self.schema = schema
+        self._seen_ids: Set[str] = set()
+
+    def reset(self) -> None:
+        """Forget seen uids (call between independent sources)."""
+        self._seen_ids.clear()
+
+    # ------------------------------------------------------------------
+    def validate(self, uid: object, values: Dict[str, object],
+                 provenance: Optional[RecordProvenance] = None,
+                 source: str = "") -> Entity:
+        """Validate + canonicalize one raw record into an :class:`Entity`."""
+        uid = self._check_uid(uid, provenance)
+        clean: Dict[str, str] = {}
+        for key, value in values.items():
+            clean[str(key)] = self._check_value(key, value, provenance)
+        self._check_arity(tuple(clean), provenance)
+        entity = Entity.from_dict(uid, clean, source=source)
+        self._check_nulls(entity, provenance)
+        # Register the uid only after every check passed, so a quarantined
+        # record can be replayed without tripping the duplicate check.
+        if self.schema.require_unique_ids:
+            self._seen_ids.add(uid)
+        return entity
+
+    def validate_entity(self, entity: Entity,
+                        provenance: Optional[RecordProvenance] = None) -> Entity:
+        """Validate an existing entity; returns it *unchanged* when clean."""
+        uid = self._check_uid(entity.uid, provenance, track=False)
+        changed = uid != entity.uid
+        attributes = []
+        for key, value in entity.attributes:
+            clean = self._check_value(key, value, provenance)
+            changed = changed or clean is not value
+            attributes.append((key, clean if clean != "" else NAN_TOKEN))
+        self._check_arity(tuple(k for k, _ in attributes), provenance)
+        out = entity if not changed else Entity(
+            uid=uid, attributes=tuple(attributes), source=entity.source)
+        self._check_nulls(out, provenance)
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_uid(self, uid: object, provenance: Optional[RecordProvenance],
+                   track: bool = True) -> str:
+        if not isinstance(uid, str) or not uid.strip():
+            raise DataError(f"record has no usable id ({uid!r})",
+                            REASON_MISSING_ID, provenance)
+        try:
+            uid = canonicalize_value(uid)
+        except ValueError:
+            raise DataError("record id contains encoding garbage",
+                            REASON_ENCODING, provenance) from None
+        if track and self.schema.require_unique_ids and uid in self._seen_ids:
+            raise DataError(f"duplicate record id {uid!r}",
+                            REASON_DUPLICATE_ID, provenance)
+        return uid
+
+    def _check_value(self, key: object, value: object,
+                     provenance: Optional[RecordProvenance]) -> str:
+        if value is None:
+            return NAN_TOKEN
+        if not isinstance(value, str):
+            raise DataError(
+                f"attribute {key!r} has non-string value of type "
+                f"{type(value).__name__}", REASON_BAD_TYPE, provenance)
+        if len(value) > self.schema.max_value_chars:
+            raise DataError(
+                f"attribute {key!r} value of {len(value)} chars exceeds the "
+                f"{self.schema.max_value_chars}-char bound",
+                REASON_TOO_LONG, provenance)
+        try:
+            return canonicalize_value(value)
+        except ValueError:
+            raise DataError(f"attribute {key!r} contains encoding garbage",
+                            REASON_ENCODING, provenance) from None
+
+    def _check_arity(self, keys: Tuple[str, ...],
+                     provenance: Optional[RecordProvenance]) -> None:
+        expected = self.schema.attributes
+        if expected and keys != expected:
+            raise DataError(
+                f"attribute set {list(keys)} does not match the schema "
+                f"{list(expected)}", REASON_ARITY, provenance)
+
+    def _check_nulls(self, entity: Entity,
+                     provenance: Optional[RecordProvenance]) -> None:
+        if self.schema.max_null_fraction >= 1.0 or not entity.attributes:
+            return
+        nulls = sum(1 for _, v in entity.attributes if v == NAN_TOKEN or not v)
+        fraction = nulls / len(entity.attributes)
+        if fraction > self.schema.max_null_fraction:
+            raise DataError(
+                f"{nulls}/{len(entity.attributes)} attributes are null "
+                f"(bound {self.schema.max_null_fraction:.0%})",
+                REASON_NULL_EXCESS, provenance)

@@ -15,6 +15,7 @@ from repro.harness.pairwise import (
     run_table3_language_models,
     run_table4_magellan,
 )
+from repro.harness.robustness import run_robustness_curve
 from repro.harness.collective import (
     run_table5_table6_statistics,
     run_table7_collective,
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "figure9": run_figure9_attention,
     "figure10": run_figure10_wdc,
     "figure11": run_figure11_training_time,
+    "robust": run_robustness_curve,
 }
 
 __all__ = ["TableResult", "EXPERIMENTS"] + sorted(

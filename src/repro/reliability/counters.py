@@ -50,6 +50,14 @@ class RecoveryCounters:
     tier2_degradations: int = 0
     #: Serving requests degraded further to the tier-3 TF-IDF floor.
     tier3_degradations: int = 0
+    #: Records the data firewall rejected into the quarantine store.
+    records_quarantined: int = 0
+    #: Quarantined records that passed validation on replay.
+    records_replayed: int = 0
+    #: Drift-monitor windows that exceeded a threshold.
+    drift_flags: int = 0
+    #: Serving requests forced to tier 2 by sustained drift.
+    drift_forced_degradations: int = 0
 
     def __post_init__(self):
         # Not a dataclass field: asdict()/fields() must never see the lock.

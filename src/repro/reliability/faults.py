@@ -80,6 +80,8 @@ KNOWN_SITES: Dict[str, str] = {
     "harness.cell": "benchmark harness table cell (harness/tables.py)",
     "serving.score": "tier-1 model scoring per batch (serving/service.py)",
     "serving.tier2": "tier-2 feature-matcher scoring (serving/service.py)",
+    "guard.validate": "firewall record validation (guard/firewall.py)",
+    "guard.drift": "drift-monitor window evaluation (guard/drift.py)",
 }
 
 

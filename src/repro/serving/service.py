@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.schema import EntityPair
+from repro.guard.firewall import DataFirewall, summarize
 from repro.perf.profiler import wall_clock
 from repro.reliability.counters import COUNTERS
 from repro.reliability.faults import fault_point
@@ -88,6 +89,10 @@ class ServingConfig:
     #: Retry policy for transient tier-1 faults (inside the breaker).
     retry: RetryPolicy = RetryPolicy(retries=2, base_delay=0.005,
                                      max_delay=0.05)
+    #: When the firewall's drift monitor reports sustained drift, force
+    #: requests straight to tier 2 (the full model's calibration is suspect
+    #: on a shifted distribution; the feature tier degrades more gracefully).
+    drift_force_tier2: bool = True
 
 
 @dataclasses.dataclass
@@ -101,10 +106,13 @@ class MatchResponse:
     scores: Optional[np.ndarray]
     labels: Optional[np.ndarray]
     degraded: bool = False
-    degrade_reason: Optional[str] = None   # "deadline" | "breaker" | "fault"
+    degrade_reason: Optional[str] = None   # "deadline"|"breaker"|"fault"|"drift"
     deadline_missed: bool = False
     latency: float = 0.0             # seconds from admission to answer
     error: Optional[str] = None
+    #: Records of this request the firewall quarantined at submit; scores
+    #: cover only the surviving pairs.
+    quarantined: int = 0
 
 
 class PendingResponse:
@@ -137,6 +145,7 @@ class _Request:
     admitted_at: float
     deadline_at: Optional[float]
     pending: PendingResponse
+    quarantined: int = 0
 
 
 class _ServiceCounters:
@@ -191,9 +200,15 @@ class InferenceService:
     """
 
     def __init__(self, cascade: DegradationCascade,
-                 config: ServingConfig = ServingConfig()):
+                 config: ServingConfig = ServingConfig(),
+                 firewall: Optional[DataFirewall] = None):
         self.cascade = cascade
         self.config = config
+        #: Optional data-quality firewall: request pairs are validated at
+        #: submit (invalid records quarantined, never scored), accepted
+        #: traffic and tier-1 scores feed its drift monitor, and sustained
+        #: drift can force the cascade to tier 2 (``drift_force_tier2``).
+        self.firewall = firewall
         self.breaker = CircuitBreaker(
             failure_threshold=config.breaker_failures,
             reset_timeout=config.breaker_reset)
@@ -265,12 +280,17 @@ class InferenceService:
             request_id = self._next_id
         if deadline_s is None:
             deadline_s = self.config.default_deadline
+        quarantined = 0
+        if self.firewall is not None:
+            accepted, quarantined = self.firewall.admit_pairs(
+                pairs, source=f"request-{request_id}")
+            pairs = accepted
         now = wall_clock()
         pending = PendingResponse(request_id)
         request = _Request(
             id=request_id, pairs=tuple(pairs), admitted_at=now,
             deadline_at=None if deadline_s is None else now + deadline_s,
-            pending=pending)
+            pending=pending, quarantined=quarantined)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -296,7 +316,8 @@ class InferenceService:
                     tier_level=None, scores=None, labels=None,
                     degraded=True, degrade_reason="fault",
                     latency=wall_clock() - request.admitted_at,
-                    error=f"{type(exc).__name__}: {exc}")
+                    error=f"{type(exc).__name__}: {exc}",
+                    quarantined=request.quarantined)
             self.counters.record_answer(response)
             request.pending._fulfill(response)
             self._queue.task_done()
@@ -309,10 +330,17 @@ class InferenceService:
         reason: Optional[str] = None
         tier = self.cascade.tier1
         scores: Optional[np.ndarray] = None
+        monitor = self.firewall.monitor if self.firewall is not None else None
 
         # Checkpoint: between admission and tier-1 work.
         if self._expired(request):
             reason = "deadline"
+        elif (monitor is not None and self.config.drift_force_tier2
+                and monitor.forcing):
+            # Sustained drift: the full model's calibration is not to be
+            # trusted on this traffic; answer from the feature tier.
+            reason = "drift"
+            COUNTERS.increment("drift_forced_degradations")
         elif self.breaker.state == OPEN:
             reason = "breaker"
         else:
@@ -344,6 +372,11 @@ class InferenceService:
             COUNTERS.increment("tier2_degradations")
         elif tier.level == 3:
             COUNTERS.increment("tier3_degradations")
+        elif monitor is not None and scores is not None and len(scores):
+            # Only genuine tier-1 scores feed the score-shift monitor:
+            # fallback-tier scores come from different models and would
+            # read as drift of the model rather than of the traffic.
+            monitor.observe_scores(scores)
         labels = tier.predict(scores)
         finished = wall_clock()
         return MatchResponse(
@@ -352,7 +385,8 @@ class InferenceService:
             degraded=tier.level > 1, degrade_reason=reason,
             deadline_missed=(request.deadline_at is not None
                              and finished > request.deadline_at),
-            latency=finished - request.admitted_at)
+            latency=finished - request.admitted_at,
+            quarantined=request.quarantined)
 
     # -- tier scoring ---------------------------------------------------
     def _score_tier1(self, request: _Request) -> np.ndarray:
@@ -406,6 +440,19 @@ class InferenceService:
         from repro import perf
 
         recovery = COUNTERS.as_dict()
+        firewall: Optional[Dict[str, object]] = None
+        if self.firewall is not None:
+            summary = summarize(self.firewall)
+            firewall = {
+                "offered": summary.offered,
+                "accepted": summary.accepted,
+                "quarantined": summary.quarantined,
+                "replayed": summary.replayed,
+                "conserved": summary.conserved,
+                "by_reason": summary.by_reason,
+                "drift": (self.firewall.monitor.stats()
+                          if self.firewall.monitor is not None else None),
+            }
         return {
             "healthy": self.healthy(),
             "service": {
@@ -418,7 +465,10 @@ class InferenceService:
             "requests": self.counters.snapshot(),
             "breaker": self.breaker.as_dict(),
             "caches": perf.cache_stats(),
+            "firewall": firewall,
             "recovery": {key: recovery[key] for key in (
                 "transient_retries", "cache_degraded", "breaker_trips",
-                "requests_shed", "tier2_degradations", "tier3_degradations")},
+                "requests_shed", "tier2_degradations", "tier3_degradations",
+                "records_quarantined", "records_replayed", "drift_flags",
+                "drift_forced_degradations")},
         }

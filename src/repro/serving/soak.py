@@ -139,13 +139,18 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
              n_clients: int = 4, requests_per_client: int = 8,
              pairs_per_request: int = 8,
              deadline_s: Optional[float] = None,
-             seed: int = 0) -> SoakReport:
+             seed: int = 0,
+             firewall=None) -> SoakReport:
     """Run the chaos soak and return the measured/asserted report.
 
     ``plan=None`` runs clean traffic (the latency baseline);
     :func:`default_chaos_plan` is the standard fault mix.  The tier-1
     offline parity reference is computed *after* the service closes, on
     the caller's thread, with the same single-call path ``predict`` uses.
+    ``firewall`` (a :class:`~repro.guard.firewall.DataFirewall`) routes
+    every request's pairs through validation at submit; parity is then
+    only asserted for responses with nothing quarantined (the offline
+    reference scores the raw batch).
     """
     rng = np.random.default_rng(seed)
     pool = list(pairs)
@@ -161,7 +166,7 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
             batches.append(tuple(pool[start:start + pairs_per_request]))
         client_batches.append(batches)
 
-    service = InferenceService(cascade, config)
+    service = InferenceService(cascade, config, firewall=firewall)
     answered: List[List[Tuple[Tuple[EntityPair, ...], object]]] = \
         [[] for _ in range(n_clients)]
     rejections: List[List[int]] = [[] for _ in range(n_clients)]
@@ -208,7 +213,7 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
     parity_checked = 0
     offline = cascade.tier1.matcher
     for batch, response in responses:
-        if response.tier_level != 1:
+        if response.tier_level != 1 or response.quarantined:
             continue
         parity_checked += 1
         reference = offline.scores(list(batch))

@@ -22,6 +22,7 @@ from repro.analysis.rules import (
     GradcheckCoverageRule,
     InPlaceMutationRule,
     NondeterminismRule,
+    SilentExceptRule,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -511,6 +512,90 @@ class TestR005CacheKeys:
                "        (id(self), params_version()), lambda: ids)\n")
         report = lint_sources(tmp_path, {"m.py": src}, self.RULES)
         assert any("id()" in f.message for f in report.findings)
+
+
+# ======================================================================
+# R006 — no silent record swallowing on the data path
+# ======================================================================
+class TestR006SilentExcept:
+    RULES = [SilentExceptRule()]
+
+    def test_pass_only_handler_in_data_flagged(self, tmp_path):
+        src = ("def load(rows):\n"
+               "    for row in rows:\n"
+               "        try:\n"
+               "            parse(row)\n"
+               "        except ValueError:\n"
+               "            pass\n")
+        report = lint_sources(tmp_path, {"src/repro/data/loader.py": src},
+                              self.RULES)
+        assert rule_lines(report, "R006") == [5]
+        assert "quarantine" in report.findings[0].message
+
+    def test_bare_except_continue_in_serving_flagged(self, tmp_path):
+        src = ("def drain(queue):\n"
+               "    while queue:\n"
+               "        try:\n"
+               "            queue.pop()\n"
+               "        except:\n"
+               "            continue\n")
+        report = lint_sources(tmp_path, {"src/repro/serving/worker.py": src},
+                              self.RULES)
+        assert rule_lines(report, "R006") == [5]
+
+    def test_quarantine_call_is_clean(self, tmp_path):
+        src = ("def load(rows, firewall):\n"
+               "    for uid, row in rows:\n"
+               "        try:\n"
+               "            parse(row)\n"
+               "        except DataError as err:\n"
+               "            firewall.quarantine_error(uid, row, err)\n")
+        report = lint_sources(tmp_path, {"src/repro/data/loader.py": src},
+                              self.RULES)
+        assert report.ok
+
+    def test_reraise_typed_error_is_clean(self, tmp_path):
+        src = ("def load(row):\n"
+               "    try:\n"
+               "        return parse(row)\n"
+               "    except ValueError as err:\n"
+               "        raise DataError(str(err), 'bad_type', None)\n")
+        report = lint_sources(tmp_path, {"src/repro/data/loader.py": src},
+                              self.RULES)
+        assert report.ok
+
+    def test_assignment_outcome_is_clean(self, tmp_path):
+        src = ("def probe(fn):\n"
+               "    ok = True\n"
+               "    try:\n"
+               "        fn()\n"
+               "    except OSError:\n"
+               "        ok = False\n"
+               "    return ok\n")
+        report = lint_sources(tmp_path, {"src/repro/guard/probe.py": src},
+                              self.RULES)
+        assert report.ok
+
+    def test_packages_outside_the_record_path_not_flagged(self, tmp_path):
+        src = ("def f(x):\n"
+               "    try:\n"
+               "        return g(x)\n"
+               "    except ValueError:\n"
+               "        pass\n")
+        report = lint_sources(tmp_path, {"src/repro/perf/cache.py": src},
+                              self.RULES)
+        assert report.ok
+
+    def test_noqa_suppresses(self, tmp_path):
+        src = ("def load(rows):\n"
+               "    try:\n"
+               "        parse(rows)\n"
+               "    except ValueError:  # repro: noqa[R006] -- fixture\n"
+               "        pass\n")
+        report = lint_sources(tmp_path, {"src/repro/data/loader.py": src},
+                              self.RULES)
+        assert report.ok
+        assert report.suppressed == 1
 
 
 # ======================================================================

@@ -1,4 +1,11 @@
-"""Tests for CSV import/export (user-supplied data path)."""
+"""Tests for CSV import/export (user-supplied data path).
+
+The hardened loader contract (docs/ROBUSTNESS.md): malformed rows —
+ragged, over-wide, blank, encoding garbage, duplicate ids — raise a typed
+:class:`~repro.guard.errors.DataError` with file+row provenance in strict
+mode, and are quarantined (with the conservation invariant intact) when a
+:class:`~repro.guard.firewall.DataFirewall` is passed.
+"""
 
 import numpy as np
 import pytest
@@ -8,6 +15,17 @@ from repro.data.io import (
     labeled_pairs_from_csv, predictions_to_csv,
 )
 from repro.data.schema import Entity, EntityPair
+from repro.guard import (
+    REASON_BAD_LABEL,
+    REASON_BLANK,
+    REASON_DUPLICATE_ID,
+    REASON_ENCODING,
+    REASON_OVERWIDE,
+    REASON_RAGGED,
+    REASON_UNKNOWN_REF,
+    DataError,
+    DataFirewall,
+)
 
 
 @pytest.fixture
@@ -110,6 +128,144 @@ class TestDatasetAssembly:
         matcher = MagellanMatcher()
         matcher.fit(dataset)
         assert matcher.predict(dataset.split.test).shape == (len(dataset.split.test),)
+
+
+class TestHardenedEntityCSV:
+    """Strict mode: typed DataError with file+row provenance."""
+
+    def test_ragged_row_raises_typed_error_with_provenance(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("id,title,price\na1,widget,9\na2,only-title\n")
+        with pytest.raises(DataError) as err:
+            entities_from_csv(f)
+        assert err.value.reason == REASON_RAGGED
+        assert err.value.provenance.source == str(f)
+        assert err.value.provenance.row == 2
+
+    def test_overwide_row(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("id,title\na1,widget,extra,cells\n")
+        with pytest.raises(DataError) as err:
+            entities_from_csv(f)
+        assert err.value.reason == REASON_OVERWIDE
+
+    def test_blank_line(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("id,title\n\na1,widget\n")
+        with pytest.raises(DataError) as err:
+            entities_from_csv(f)
+        assert err.value.reason == REASON_BLANK
+
+    def test_bom_is_transparent(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_bytes(b"\xef\xbb\xbfid,title\na1,widget\n")
+        assert entities_from_csv(f)[0].uid == "a1"
+
+    def test_undecodable_bytes_are_typed_not_unicode_error(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_bytes(b"id,title\na1,caf\xff\xfe\n")
+        with pytest.raises(DataError) as err:
+            entities_from_csv(f)
+        assert err.value.reason == REASON_ENCODING
+
+    def test_duplicate_id_raises(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("id,title\na1,widget\na1,gadget\n")
+        with pytest.raises(DataError) as err:
+            entities_from_csv(f)
+        assert err.value.reason == REASON_DUPLICATE_ID
+
+
+class TestFirewalledEntityCSV:
+    """Firewall mode: bad rows quarantined, clean rows returned, conserved."""
+
+    def test_mixed_file_quarantines_and_conserves(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_bytes(
+            b"id,title,price\n"
+            b"a1,widget,9\n"
+            b"a2,only-title\n"          # ragged
+            b"a3,gadget,5,extra\n"      # over-wide
+            b"\n"                       # blank
+            b"a1,duplicate,1\n"         # duplicate id
+            b"a6,caf\xff,2\n"           # undecodable bytes
+            b"a7,doohickey,3\n")
+        firewall = DataFirewall()
+        entities = entities_from_csv(f, firewall=firewall)
+        assert [e.uid for e in entities] == ["a1", "a7"]
+        snap = firewall.stats.snapshot()
+        assert snap["offered"] == 7
+        assert snap["accepted"] == 2 and snap["quarantined"] == 5
+        assert firewall.stats.conserved
+        assert set(firewall.store.by_reason()) == {
+            REASON_RAGGED, REASON_OVERWIDE, REASON_BLANK,
+            REASON_DUPLICATE_ID, REASON_ENCODING}
+
+    def test_quarantined_rows_carry_provenance(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("id,title\na1,widget\na2,bad\x01cell\n")
+        firewall = DataFirewall()
+        entities_from_csv(f, firewall=firewall)
+        record = firewall.store.records[0]
+        assert record.source == str(f) and record.row == 2
+
+    def test_header_problems_still_raise_valueerror(self, tmp_path):
+        f = tmp_path / "t.csv"
+        f.write_text("title\nfoo\n")
+        with pytest.raises(ValueError):
+            entities_from_csv(f, firewall=DataFirewall())
+
+    def test_uid_uniqueness_scoped_per_file(self, tmp_path, csv_triple):
+        """tableA and tableB legitimately reuse ids; one firewall must not
+        cross-quarantine them as duplicates."""
+        firewall = DataFirewall()
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        a.write_text("id,title\nx1,foo\n")
+        b.write_text("id,title\nx1,bar\n")
+        entities_from_csv(a, firewall=firewall)
+        entities = entities_from_csv(b, firewall=firewall)
+        assert len(entities) == 1
+        assert len(firewall.store) == 0
+
+
+class TestFirewalledPairCSV:
+    def test_bad_label_and_unknown_ref_quarantined(self, csv_triple, tmp_path):
+        a = entities_from_csv(csv_triple[0])
+        b = entities_from_csv(csv_triple[1])
+        f = tmp_path / "pairs.csv"
+        f.write_text("ltable_id,rtable_id,label\n"
+                     "a1,b1,1\n"
+                     "a1,b2,maybe\n"      # bad label
+                     "a2,b9,1\n"          # unknown right id
+                     "a2,b3,2\n")         # out-of-range label
+        firewall = DataFirewall()
+        pairs = labeled_pairs_from_csv(f, a, b, firewall=firewall)
+        assert len(pairs) == 1
+        assert firewall.stats.conserved
+        assert firewall.store.by_reason() == {REASON_BAD_LABEL: 2,
+                                              REASON_UNKNOWN_REF: 1}
+
+    def test_strict_mode_keeps_historical_exceptions(self, csv_triple,
+                                                     tmp_path):
+        a = entities_from_csv(csv_triple[0])
+        b = entities_from_csv(csv_triple[1])
+        f = tmp_path / "pairs.csv"
+        f.write_text("ltable_id,rtable_id,label\na1,b1,nope\n")
+        with pytest.raises(DataError) as err:
+            labeled_pairs_from_csv(f, a, b)
+        assert err.value.reason == REASON_BAD_LABEL
+
+    def test_dataset_from_csv_with_firewall_is_identical_on_clean_input(
+            self, csv_triple):
+        plain = dataset_from_csv(*csv_triple, name="demo")
+        firewall = DataFirewall()
+        guarded = dataset_from_csv(*csv_triple, name="demo",
+                                   firewall=firewall)
+        assert guarded.pairs == plain.pairs
+        assert guarded.split.sizes == plain.split.sizes
+        assert firewall.stats.conserved
+        assert firewall.stats.snapshot()["quarantined"] == 0
 
 
 class TestPredictionsCSV:

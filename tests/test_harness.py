@@ -45,11 +45,11 @@ class TestTableResult:
 
 
 class TestRegistry:
-    def test_all_eleven_experiments_registered(self):
+    def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5_6", "table7",
             "table8", "table9", "table10", "table11",
-            "figure9", "figure10", "figure11",
+            "figure9", "figure10", "figure11", "robust",
         }
 
     def test_runners_are_callable(self):

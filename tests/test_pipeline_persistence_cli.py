@@ -127,3 +127,31 @@ class TestCLI:
         from repro.cli import main
 
         assert main(["bench", "table99", "--fast"]) == 2
+
+    def test_quarantine_inspect_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.guard import DataFirewall, QuarantineStore, RecordSchema
+
+        path = str(tmp_path / "q.jsonl")
+        firewall = DataFirewall(schema=RecordSchema(max_value_chars=4),
+                                store=QuarantineStore(path=path))
+        firewall.admit("a1", {"name": "too long for four"})
+        firewall.admit("a2", {"name": "b\x00d"})
+
+        assert main(["quarantine", "--store", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 quarantined record(s)" in out
+        assert "value_too_long" in out and "encoding_garbage" in out
+
+        # Replay under the default (relaxed) schema: the too-long record
+        # passes now; the encoding garbage stays quarantined.
+        assert main(["quarantine", "--store", path, "--replay"]) == 0
+        assert "1 accepted, 1 still quarantined" in capsys.readouterr().out
+        assert [r.uid for r in QuarantineStore.load(path).records] == ["a2"]
+
+    def test_quarantine_empty_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "missing.jsonl")
+        assert main(["quarantine", "--store", path]) == 0
+        assert "quarantine empty" in capsys.readouterr().out
