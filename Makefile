@@ -18,14 +18,21 @@ lint:
 # Fast tier: everything except @pytest.mark.slow, for pre-push / CI loops.
 # Runs from a clean checkout (no `make install` needed) via PYTHONPATH.
 # Ends with a live `repro serve --soak` smoke (concurrent traffic + the
-# standard chaos plan, asserting conservation and tier-1 parity) and a
-# fast firewall fuzz smoke (corrupted bytes through ingestion + serving,
-# asserting no crash and record conservation).
+# standard chaos plan, asserting conservation and tier-1 parity), a fast
+# firewall fuzz smoke (corrupted bytes through ingestion + serving,
+# asserting no crash and record conservation), and an embedding-store
+# smoke: build a tiny shard set, score the test split from it, and assert
+# bitwise store/live parity plus full store coverage (`embed --verify`
+# exits non-zero on either).
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro serve --dataset Beer --fast --soak \
 		--clients 3 --requests 4 --pairs 6 --workers 3 --capacity 8
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_guard_fuzz.py -q -k smoke
+	rm -rf .repro-ci-store
+	PYTHONPATH=src $(PYTHON) -m repro embed --dataset Beer --fast \
+		--store .repro-ci-store --verify
+	rm -rf .repro-ci-store
 
 # Line coverage of src/repro over the fast tier (tools/cov.py uses
 # coverage.py when installed, else a built-in settrace fallback).
@@ -40,9 +47,11 @@ check:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Performance-layer benchmark: cached/fused vs uncached, writes BENCH_perf.json.
+# Performance-layer benchmark: cached/fused vs uncached plus the
+# embedding-store serving mode (float32 parity + int8 ΔF1 + ≥10x gates),
+# writes BENCH_perf.json.
 bench-perf:
-	$(PYTHON) benchmarks/run_perf.py
+	PYTHONPATH=src $(PYTHON) benchmarks/run_perf.py --store
 
 # Serving-layer soak benchmark: clean/chaos/pressure, writes BENCH_serve.json.
 bench-serve:

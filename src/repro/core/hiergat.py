@@ -100,14 +100,13 @@ class HierGATNetwork(Module):
         Stacks all K slots of both record sides into a single ``(2K·B, W)``
         megabatch, so the contextual embedder, the attribute summarizer, and
         the attribute comparator each run once per step instead of per slot.
-        Same modules and masking as :meth:`forward`, but not identical
-        outputs: the common padded width ``W`` shifts where the right-side
-        segment lands in the comparator's joined sequence (different
-        positional encodings), reassociates float sums, and changes
-        training-mode dropout draws.  When every slot already shares one
-        width the two paths agree to float tolerance.  Models trained with
-        the fused path are self-consistent; it is a throughput mode, not a
-        bit-for-bit replay of the per-slot path.
+        Same modules and masking as :meth:`forward`; because positional
+        encodings follow the validity mask (true token order, not padded
+        offsets) the common width ``W`` cannot shift any valid position, and
+        the two paths agree to float tolerance in eval mode (training-mode
+        dropout draws still differ).  The heavy lifting after the contextual
+        embedder is shared with the embedding-store serving path via
+        :meth:`head_from_wpc`.
         """
         k_slots = len(slot_inputs)
         batch = slot_inputs[0][0][0].shape[0]
@@ -130,10 +129,39 @@ class HierGATNetwork(Module):
         big_mask = np.concatenate([mask for _, mask in sides], axis=0)
 
         wpc = self.context(big_ids, big_mask)
-        attrs = self.summarizer(wpc, big_mask)
+        return self.head_from_wpc(wpc, big_mask, k_slots, batch)
+
+    # ------------------------------------------------------------------
+    # Encoder / GAT-head split (the embedding-store serving boundary)
+    # ------------------------------------------------------------------
+    def encode_record_slot(self, ids: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Frozen-encoder half of the split: WpC for one slot batch.
+
+        This is everything that depends only on a single record (token
+        embedding, LM encoder, token/attribute context composition) — the
+        part the offline embedding store materializes per record so online
+        requests skip straight to :meth:`head_from_wpc`.
+        """
+        return self.context(ids, mask)
+
+    def head_from_wpc(self, wpc: Tensor, mask: np.ndarray, k_slots: int,
+                      batch: int, attrs: Optional[Tensor] = None) -> Tensor:
+        """Pair-level GAT head over precomputed contextual embeddings.
+
+        ``wpc`` is the ``(2K·B, W, dim)`` stack of WpC embeddings laid out
+        slot-major per side — rows ``[k·B:(k+1)·B]`` hold slot ``k`` of every
+        *left* record, rows ``[K·B + k·B : ...]`` the right side — with
+        ``mask`` the matching validity mask.  Runs attribute summarization,
+        attribute comparison (batched across all pairs *and* slots at once),
+        entity comparison, and the classification head.  ``attrs`` may supply
+        precomputed attribute summaries ``(2K·B, dim)`` (the store persists
+        them alongside WpC) to skip the summarizer as well.
+        """
+        if attrs is None:
+            attrs = self.summarizer(wpc, mask)
         kb = k_slots * batch
         similarities_all = self.comparator(
-            wpc[:kb], big_mask[:kb], wpc[kb:], big_mask[kb:])
+            wpc[:kb], mask[:kb], wpc[kb:], mask[kb:])
         similarities = [similarities_all[k * batch:(k + 1) * batch]
                         for k in range(k_slots)]
         entity_context = None

@@ -13,7 +13,8 @@ import numpy as np
 
 from repro.config import Scale, get_scale
 from repro.data.schema import EntityPair, PairDataset
-from repro.perf.cache import batch_cache, entity_key, instance_token, token_cache
+from repro.perf.cache import (batch_cache, composition_digest, entity_key,
+                              instance_token, token_cache)
 from repro.text.serialize import serialize_pair
 from repro.text.tokenizer import tokenize
 from repro.text.vocab import Vocabulary
@@ -140,8 +141,12 @@ class AttributeEncoder:
         # The padded batch is reused verbatim whenever the same batch
         # composition recurs — e.g. the per-epoch validation passes and the
         # post-restore scoring, which iterate identical batches every time.
-        key = ("slot", tuple(entity_key(p.left if side == "left" else p.right)
-                             for p in pairs),
+        # The composition (the ordered per-record entity keys) is digested
+        # to a constant-size hash instead of stored as an O(batch) tuple.
+        composition = composition_digest(
+            tuple(entity_key(p.left if side == "left" else p.right)
+                  for p in pairs))
+        key = ("slot", composition, len(pairs),
                slot, self.max_value_tokens, self.include_key,
                instance_token(self.vocab))
         return batch_cache().get_or_compute(

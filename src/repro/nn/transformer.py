@@ -35,11 +35,21 @@ class PositionalEncoding(Module):
         self.table = (table * scale).astype(get_default_dtype())
         self.max_len = max_len
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None) -> Tensor:
         seq = x.shape[-2]
         if seq > self.max_len:
             raise ValueError(f"sequence length {seq} exceeds max_len {self.max_len}")
-        return x + Tensor(self.table[:seq])
+        if pad_mask is None:
+            return x + Tensor(self.table[:seq])
+        # Positions follow the *true* token order per row: the i-th valid
+        # token gets position i regardless of where padding sits, so a
+        # sequence padded to any width (or a segment shifted by another
+        # segment's padding) receives identical encodings at its valid
+        # positions.  Pad positions repeat the last valid index; they are
+        # masked out of attention and pooling downstream.
+        valid = np.asarray(pad_mask, dtype=bool)
+        positions = np.maximum(np.cumsum(valid, axis=-1) - 1, 0)
+        return x + Tensor(self.table[positions])
 
 
 class TransformerEncoderLayer(Module):
@@ -87,7 +97,7 @@ class TransformerEncoder(Module):
     def forward(self, x: Tensor, pad_mask: Optional[np.ndarray] = None,
                 add_positions: bool = True) -> Tensor:
         if add_positions:
-            x = self.position(x)
+            x = self.position(x, pad_mask=pad_mask)
         x = self.drop(x)
         for layer in self.layers:
             x = layer(x, pad_mask=pad_mask)

@@ -58,6 +58,11 @@ class RecoveryCounters:
     drift_flags: int = 0
     #: Serving requests forced to tier 2 by sustained drift.
     drift_forced_degradations: int = 0
+    #: Embedding-store shards quarantined after a checksum failure (their
+    #: records fall through to the live encoder).
+    store_corrupt_shards: int = 0
+    #: Partial ``*.tmp.*`` store writes discarded by a subsequent build.
+    store_build_discards: int = 0
 
     def __post_init__(self):
         # Not a dataclass field: asdict()/fields() must never see the lock.

@@ -79,6 +79,8 @@ KNOWN_SITES: Dict[str, str] = {
     "pipeline.score": "pipeline chunk scoring (pipeline.py)",
     "harness.cell": "benchmark harness table cell (harness/tables.py)",
     "serving.score": "tier-1 model scoring per batch (serving/service.py)",
+    "store.read": "embedding-store shard read + checksum (store/embedstore.py)",
+    "store.build": "embedding-store atomic file publication (store/embedstore.py)",
     "serving.tier2": "tier-2 feature-matcher scoring (serving/service.py)",
     "guard.validate": "firewall record validation (guard/firewall.py)",
     "guard.drift": "drift-monitor window evaluation (guard/drift.py)",

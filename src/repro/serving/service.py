@@ -54,6 +54,8 @@ from repro.reliability.faults import fault_point
 from repro.reliability.retry import RetryPolicy, retry_with_backoff
 from repro.serving.breaker import OPEN, CircuitBreaker, CircuitOpenError
 from repro.serving.tiers import DegradationCascade, ScoringTier
+from repro.store.embedstore import EmbeddingStore
+from repro.store.scorer import StoreBackedScorer
 
 
 class ServiceOverloaded(RuntimeError):
@@ -201,7 +203,8 @@ class InferenceService:
 
     def __init__(self, cascade: DegradationCascade,
                  config: ServingConfig = ServingConfig(),
-                 firewall: Optional[DataFirewall] = None):
+                 firewall: Optional[DataFirewall] = None,
+                 store: Optional[EmbeddingStore] = None):
         self.cascade = cascade
         self.config = config
         #: Optional data-quality firewall: request pairs are validated at
@@ -209,6 +212,17 @@ class InferenceService:
         #: traffic and tier-1 scores feed its drift monitor, and sustained
         #: drift can force the cascade to tier 2 (``drift_force_tier2``).
         self.firewall = firewall
+        #: Optional embedding store: tier 1 serves the frozen-encoder half
+        #: from precomputed shards (read-only, so replicas can later share
+        #: one store) and only runs the pair-level GAT head live.  Store
+        #: misses fall through to the live encoder and are counted in
+        #: ``stats()["store"]``.  Tier-1 parity is preserved: the wrapper
+        #: chunks at the matcher's batch size like the offline call.
+        self.store = store
+        if store is not None and not isinstance(cascade.tier1.matcher,
+                                                StoreBackedScorer):
+            cascade.tier1.matcher = StoreBackedScorer(
+                cascade.tier1.matcher, store=store)
         self.breaker = CircuitBreaker(
             failure_threshold=config.breaker_failures,
             reset_timeout=config.breaker_reset)
@@ -453,6 +467,10 @@ class InferenceService:
                 "drift": (self.firewall.monitor.stats()
                           if self.firewall.monitor is not None else None),
             }
+        store_stats: Optional[Dict[str, object]] = None
+        tier1 = self.cascade.tier1.matcher
+        if isinstance(tier1, StoreBackedScorer):
+            store_stats = tier1.stats()
         return {
             "healthy": self.healthy(),
             "service": {
@@ -466,9 +484,11 @@ class InferenceService:
             "breaker": self.breaker.as_dict(),
             "caches": perf.cache_stats(),
             "firewall": firewall,
+            "store": store_stats,
             "recovery": {key: recovery[key] for key in (
                 "transient_retries", "cache_degraded", "breaker_trips",
                 "requests_shed", "tier2_degradations", "tier3_degradations",
                 "records_quarantined", "records_replayed", "drift_flags",
-                "drift_forced_degradations")},
+                "drift_forced_degradations", "store_corrupt_shards",
+                "store_build_discards")},
         }

@@ -140,7 +140,8 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
              pairs_per_request: int = 8,
              deadline_s: Optional[float] = None,
              seed: int = 0,
-             firewall=None) -> SoakReport:
+             firewall=None,
+             store=None) -> SoakReport:
     """Run the chaos soak and return the measured/asserted report.
 
     ``plan=None`` runs clean traffic (the latency baseline);
@@ -151,6 +152,10 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
     every request's pairs through validation at submit; parity is then
     only asserted for responses with nothing quarantined (the offline
     reference scores the raw batch).
+    ``store`` (a :class:`~repro.store.embedstore.EmbeddingStore`) puts the
+    embedding store in front of tier 1; the offline parity reference is
+    read after the service wraps the tier, so parity covers the
+    store-backed path itself.
     """
     rng = np.random.default_rng(seed)
     pool = list(pairs)
@@ -166,7 +171,7 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
             batches.append(tuple(pool[start:start + pairs_per_request]))
         client_batches.append(batches)
 
-    service = InferenceService(cascade, config, firewall=firewall)
+    service = InferenceService(cascade, config, firewall=firewall, store=store)
     answered: List[List[Tuple[Tuple[EntityPair, ...], object]]] = \
         [[] for _ in range(n_clients)]
     rejections: List[List[int]] = [[] for _ in range(n_clients)]

@@ -65,6 +65,68 @@ def test_resize_drops_lru_entries():
     assert cache.stats.evictions >= 2
 
 
+def test_batch_cache_key_includes_composition():
+    """Two batches sharing length/slot but not membership must not collide.
+
+    The slot-batch key digests the ordered per-record entity keys
+    (``composition_digest``), so equal-shaped batches of different records
+    are distinct entries while an identical batch replays from cache."""
+    from repro.data.magellan import load_dataset
+    from repro.matchers.encoding import AttributeEncoder, build_vocabulary
+
+    ds = load_dataset("Beer")
+    vocab, _ = build_vocabulary(ds)
+    encoder = AttributeEncoder(vocab)
+    pairs = list(ds.split.train)
+    cache = perf.get_cache("batches")
+    cache.clear()
+    cache.stats.reset()
+    with perf.perf_mode(cache=True, fused_forward=False):
+        first = encoder.encode_slot(pairs[:4], 0, "left")
+        shifted = encoder.encode_slot(pairs[1:5], 0, "left")
+        replay = encoder.encode_slot(pairs[:4], 0, "left")
+    assert cache.stats.misses == 2      # two distinct compositions
+    assert cache.stats.hits == 1        # the exact batch replays
+    np.testing.assert_array_equal(first[0], replay[0])
+    assert not np.array_equal(first[0], shifted[0])
+    cache.clear()
+
+
+def test_batch_cache_eviction_pressure_stays_correct():
+    """Distinct compositions under a tiny ``batches`` LRU actually evict.
+
+    The digest keys are constant-size, so a workload with many distinct
+    batch compositions exerts real eviction pressure on the bounded cache
+    — and every batch encoded after its entry was evicted must still
+    reproduce the uncached arrays bitwise."""
+    from repro.data.magellan import load_dataset
+    from repro.matchers.encoding import AttributeEncoder, build_vocabulary
+
+    ds = load_dataset("Beer")
+    vocab, _ = build_vocabulary(ds)
+    encoder = AttributeEncoder(vocab)
+    pairs = list(ds.split.train) + list(ds.split.valid)
+    assert len(pairs) >= 16
+    cache = perf.get_cache("batches")
+    previous_capacity = cache.capacity
+    cache.clear()
+    cache.stats.reset()
+    try:
+        perf.resize("batches", 4)
+        batches = [pairs[i:i + 4] for i in range(0, len(pairs) - 4, 2)]
+        with perf.perf_mode(cache=True, fused_forward=False):
+            expected = [encoder._encode_slot(b, 0, "left") for b in batches]
+            cached = [encoder.encode_slot(b, 0, "left") for b in batches]
+        assert cache.stats.evictions > 0
+        assert len(cache) <= 4
+        for (want_ids, want_mask), (got_ids, got_mask) in zip(expected, cached):
+            np.testing.assert_array_equal(want_ids, got_ids)
+            np.testing.assert_array_equal(want_mask, got_mask)
+    finally:
+        perf.resize("batches", previous_capacity)
+        cache.clear()
+
+
 def test_instance_token_stable_and_unique():
     class Thing:
         pass
@@ -222,15 +284,15 @@ def _pad_slots_to_common_width(slots, pad_id):
     return [(pad(*left), pad(*right)) for left, right in slots]
 
 
-def test_fused_nonuniform_divergence_is_exactly_the_padding_width():
-    """Pin the documented per-slot vs fused divergence to its single cause.
+def test_fused_nonuniform_matches_per_slot():
+    """Fused and per-slot forwards agree on ragged slot widths.
 
-    With non-uniform slot widths the two paths legitimately differ (the
-    common width W changes positional encodings and float reassociation —
-    see HierGATNetwork._forward_fused).  Pre-padding every slot to W removes
-    that one difference, and then the per-slot path must agree with the
-    fused path to float tolerance.  If this test fails, the fused stacking
-    itself (not the padding) has drifted."""
+    Positional encodings are computed from the validity mask (the true,
+    unpadded token order), so the fused megabatch's common width W no
+    longer shifts any valid position: the only remaining difference
+    between the paths is float reassociation from the extra all-pad
+    columns, which stays within tight tolerance.  (Before the mask-based
+    positions this test pinned a genuine divergence.)"""
     from repro.autograd import no_grad
 
     matcher, slots = _fitted_hiergat_slots()
@@ -249,24 +311,22 @@ def test_fused_nonuniform_divergence_is_exactly_the_padding_width():
             per_slot_padded = net(padded).data
         fused_padded = net._forward_fused(padded).data
 
-    # The divergence exists (this is the documented behaviour, not a bug)...
-    assert not np.allclose(per_slot, fused, atol=1e-6)
-    # ...and disappears entirely once widths are uniform: both pairs of
-    # paths now see identical (ids, mask) content.
+    np.testing.assert_allclose(per_slot, fused, atol=1e-5, rtol=1e-4)
     np.testing.assert_allclose(per_slot_padded, fused, atol=1e-5, rtol=1e-4)
     np.testing.assert_allclose(fused_padded, fused, atol=1e-5, rtol=1e-4)
 
 
-def test_both_paths_share_the_same_width_sensitivity():
-    """Documents the root cause of the per-slot vs fused divergence.
+def test_outputs_are_width_invariant():
+    """Padding width no longer leaks into model outputs, on either path.
 
-    Outputs are a function of the *padded* width, on both paths: the
-    attribute comparator concatenates the left and right token sequences,
-    so the right segment's positional encodings shift with the (padded)
-    left width.  Widening every slot by a few all-pad columns therefore
-    changes the output of the per-slot path AND the fused path — this is
-    not a masking bug in the fused stacking, it is a property of the model
-    the fused common width W merely exposes."""
+    The attribute comparator concatenates the left and right token
+    sequences, so with table-order positional encodings the right
+    segment's positions used to shift with the (padded) left width.
+    Mask-based positions remove that sensitivity: widening every slot by
+    all-pad columns leaves both the per-slot and the fused outputs
+    unchanged to float tolerance.  This invariance is what lets the
+    embedding store persist records at their true length and replay them
+    into batches of any width."""
     from repro.autograd import no_grad
 
     matcher, slots = _fitted_hiergat_slots()
@@ -288,16 +348,9 @@ def test_both_paths_share_the_same_width_sensitivity():
             per_slot, per_slot_wide = net(slots).data, net(widened).data
         fused, fused_wide = (net._forward_fused(slots).data,
                              net._forward_fused(widened).data)
-    assert not np.allclose(per_slot_wide, per_slot, atol=1e-6)
-    assert not np.allclose(fused_wide, fused, atol=1e-6)
-    # Same-width inputs still agree across paths — the sensitivity is to
-    # width, never to the fused stacking itself.
-    uniform = _pad_slots_to_common_width(widened, pad_id)
-    with no_grad():
-        with perf.perf_mode(fused_forward=False):
-            a = net(uniform).data
-        b = net._forward_fused(uniform).data
-    np.testing.assert_allclose(a, b, atol=1e-5, rtol=1e-4)
+    np.testing.assert_allclose(per_slot_wide, per_slot, atol=1e-5, rtol=1e-4)
+    np.testing.assert_allclose(fused_wide, fused, atol=1e-5, rtol=1e-4)
+    np.testing.assert_allclose(fused, per_slot, atol=1e-5, rtol=1e-4)
 
 
 def test_fused_nonuniform_backward_produces_finite_grads():

@@ -1,0 +1,393 @@
+"""Embedding-store tests: quantization, parity, faults, and invalidation.
+
+Covers the offline store end to end at CI scale:
+
+* quantization round-trips and the fused :func:`quantized_matmul`;
+* build → read parity — float32 store mode must be **bitwise identical**
+  to the live encoder path, quantized modes must stay within the ΔF1 gate;
+* the registered fault sites ``store.read`` (corrupt shard → checksum
+  quarantine → counted live fallback) and ``store.build`` (kill between
+  write and rename → partial file discarded, manifest never published,
+  re-running the build resumes) — R004;
+* staleness — a ``params_version`` bump invalidates the shards *and* the
+  fronting LRU until the store is re-bound (R005);
+* the serving integration — ``InferenceService`` reads the store on tier 1
+  and reports hit/fallback counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import Scale, set_scale
+from repro.core import HierGAT
+from repro.data import load_dataset
+from repro.perf.cache import bump_params_version, instance_token, params_version
+from repro.reliability.counters import COUNTERS
+from repro.reliability.faults import (
+    KNOWN_SITES,
+    FaultPlan,
+    TrainingKilled,
+    inject,
+)
+from repro.store import (
+    EmbeddingStore,
+    StoreBackedScorer,
+    build_store,
+    dequantize,
+    encode_record,
+    parity_report,
+    quantize,
+    stable_record_key,
+    store_cache,
+    weights_digest,
+)
+from repro.store.quant import quantized_matmul
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    set_scale(Scale.ci())
+    return load_dataset("Beer", scale=Scale.ci())
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    set_scale(Scale.ci())
+    return HierGAT().fit(dataset)
+
+
+def _test_entities(dataset):
+    return [entity for pair in dataset.split.test
+            for entity in (pair.left, pair.right)]
+
+
+# ======================================================================
+# Quantization primitives
+# ======================================================================
+class TestQuantization:
+    def test_float32_is_a_bitwise_identity(self, rng):
+        x = rng.normal(size=(7, 12)).astype(np.float32)
+        stored, scale = quantize(x, "float32")
+        assert scale == 1.0
+        # The fast path hands back the same object: no copy, no arithmetic,
+        # which is what makes float32 store mode bitwise by construction.
+        assert dequantize(stored, scale) is stored
+        assert np.array_equal(stored, x)
+
+    def test_int8_roundtrip_error_is_bounded_by_half_a_step(self, rng):
+        x = rng.normal(size=(9, 16)).astype(np.float32) * 3.0
+        stored, scale = quantize(x, "int8")
+        assert stored.dtype == np.int8
+        assert np.abs(stored).max() <= 127
+        err = np.abs(dequantize(stored, scale) - x)
+        assert err.max() <= scale * 0.5 + 1e-7
+
+    def test_float16_roundtrip_close(self, rng):
+        x = rng.normal(size=(5, 8)).astype(np.float32)
+        stored, scale = quantize(x, "float16")
+        assert stored.dtype == np.float16
+        assert np.allclose(dequantize(stored, scale), x, atol=1e-2)
+
+    def test_quantized_matmul_matches_dequantize_then_matmul(self, rng):
+        x = rng.normal(size=(6, 10)).astype(np.float32)
+        w = rng.normal(size=(10, 4)).astype(np.float32)
+        stored, scale = quantize(x, "int8")
+        fused = quantized_matmul(stored, scale, w)
+        exact = dequantize(stored, scale) @ w
+        assert np.allclose(fused, exact, atol=1e-4, rtol=1e-4)
+
+    def test_unknown_dtype_rejected(self, rng):
+        with pytest.raises(ValueError, match="dtype"):
+            quantize(np.zeros((2, 2), dtype=np.float32), "int4")
+
+
+# ======================================================================
+# Build + read + parity
+# ======================================================================
+class TestBuildAndParity:
+    def test_build_indexes_every_unique_record(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        store = build_store(tmp_path / "s", fitted, entities)
+        unique = {stable_record_key(e) for e in entities}
+        assert len(store) == len(unique)
+        assert store.records == len(unique)
+        assert store.dtype == "float32"
+        assert store.valid()
+
+    def test_get_matches_live_encoder_bitwise(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        store = build_store(tmp_path / "s", fitted, entities)
+        entity = entities[0]
+        record = store.get(entity)
+        live = encode_record(fitted._network, fitted._encoder, entity,
+                             fitted._num_attributes)
+        assert store.stats.hits == 1
+        for got, want in zip(record.wpc, live.wpc):
+            assert np.array_equal(got, want)
+        assert np.array_equal(record.attrs, live.attrs)
+
+    def test_second_get_serves_from_fronting_lru(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        store = build_store(tmp_path / "s", fitted, entities)
+        key = ("store", stable_record_key(entities[0]), params_version(),
+               instance_token(store))
+        assert key not in store_cache()
+        store.get(entities[0])
+        assert key in store_cache()
+        store.get(entities[0])
+        assert store.stats.hits == 2
+
+    def test_absent_record_misses(self, tmp_path, fitted, dataset):
+        store = build_store(tmp_path / "s", fitted, _test_entities(dataset))
+        stranger = dataset.split.train[0].left
+        if stable_record_key(stranger) in store.manifest["index"]:
+            pytest.skip("train record coincides with a test record")
+        assert store.get(stranger) is None
+        assert store.stats.misses == 1
+
+    def test_float32_store_scores_bitwise_identical(self, tmp_path, fitted,
+                                                    dataset):
+        store = build_store(tmp_path / "s", fitted, _test_entities(dataset))
+        report = parity_report(fitted, store, dataset.split.test)
+        assert report["bitwise"], report
+        assert report["max_abs_diff"] == 0.0
+        assert report["live_fallbacks"] == 0
+        assert report["store_hits"] > 0
+
+    def test_store_backed_close_to_standard_forward(self, tmp_path, fitted,
+                                                    dataset):
+        """The cross-pair megabatch head agrees with matcher.scores.
+
+        Not bitwise (different reduction order across the batch) but tight:
+        this pins the store-backed scorer to the reference forward, not
+        just to its own live-fallback path.
+        """
+        store = build_store(tmp_path / "s", fitted, _test_entities(dataset))
+        scorer = StoreBackedScorer(fitted, store=store)
+        pairs = list(dataset.split.test)
+        assert np.allclose(scorer.scores(pairs), fitted.scores(pairs),
+                           atol=1e-5, rtol=1e-4)
+
+    def test_reopen_from_disk_serves_after_bind(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        build_store(tmp_path / "s", fitted, entities)
+        reopened = EmbeddingStore.open(tmp_path / "s")
+        assert not reopened.valid()          # unbound stores serve nothing
+        assert reopened.bind(fitted._network)
+        assert reopened.get(entities[0]) is not None
+        assert reopened.stats.hits == 1
+
+    def test_multi_shard_build(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        store = build_store(tmp_path / "s", fitted, entities, shard_size=3)
+        shards = {entry["shard"] for entry in store.manifest["index"].values()}
+        assert len(shards) > 1
+        report = parity_report(fitted, store, dataset.split.test)
+        assert report["bitwise"], report
+
+
+# ======================================================================
+# Quantized modes: the ΔF1 gate
+# ======================================================================
+class TestQuantizedStore:
+    @pytest.mark.parametrize("dtype", ["float16", "int8"])
+    def test_delta_f1_within_gate(self, tmp_path, fitted, dataset, dtype):
+        store = build_store(tmp_path / dtype, fitted, _test_entities(dataset),
+                            dtype=dtype)
+        scorer = StoreBackedScorer(fitted, store=store)
+        delta = abs(scorer.test_f1(dataset) - fitted.test_f1(dataset))
+        assert delta <= 0.5, f"{dtype} store ΔF1 {delta:.3f} exceeds the gate"
+        assert scorer.live_fallbacks == 0
+
+    def test_int8_scores_stay_close(self, tmp_path, fitted, dataset):
+        store = build_store(tmp_path / "q", fitted, _test_entities(dataset),
+                            dtype="int8")
+        report = parity_report(fitted, store, dataset.split.test)
+        assert report["max_abs_diff"] < 0.05, report
+
+    def test_scales_persisted_per_slot(self, tmp_path, fitted, dataset):
+        store = build_store(tmp_path / "q", fitted, _test_entities(dataset),
+                            dtype="int8")
+        for entry in store.manifest["index"].values():
+            assert len(entry["scales"]) == fitted._num_attributes
+            assert all(s > 0.0 for s in entry["scales"])
+
+
+# ======================================================================
+# Fault sites (R004): store.read and store.build
+# ======================================================================
+class TestStoreFaults:
+    def test_sites_registered(self):
+        assert "store.read" in KNOWN_SITES
+        assert "store.build" in KNOWN_SITES
+
+    def test_corrupt_shard_quarantined_with_live_fallback(self, tmp_path,
+                                                          fitted, dataset):
+        entities = _test_entities(dataset)
+        build_store(tmp_path / "s", fitted, entities)
+        store = EmbeddingStore.open(tmp_path / "s")
+        store.bind(fitted._network)
+        COUNTERS.reset()
+        pairs = list(dataset.split.test)[:4]
+        scorer = StoreBackedScorer(fitted, store=store)
+        with inject(FaultPlan.single("store.read", "corrupt")) as plan:
+            scores = scorer.scores(pairs)
+        assert plan.fired("store.read", "corrupt") == 1
+        # The damaged shard is quarantined, counted, and every one of its
+        # records falls through to the live encoder ...
+        assert store.stats.corrupt_shards == 1
+        assert store.stats.corrupt_misses >= 1
+        assert scorer.live_fallbacks > 0
+        assert COUNTERS.store_corrupt_shards == 1
+        # ... which reproduces the store-bypassed scores exactly.
+        reference = StoreBackedScorer(fitted, store=None).scores(pairs)
+        assert np.array_equal(scores, reference)
+
+    def test_transient_read_is_retried(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        build_store(tmp_path / "s", fitted, entities)
+        store = EmbeddingStore.open(tmp_path / "s")
+        store.bind(fitted._network)
+        with inject(FaultPlan.single("store.read", "transient")) as plan:
+            record = store.get(entities[0])
+        assert plan.fired("store.read", "transient") == 1
+        assert record is not None
+        assert store.stats.corrupt_shards == 0
+
+    def test_build_kill_publishes_nothing(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        with inject(FaultPlan.single("store.build", "kill")):
+            with pytest.raises(TrainingKilled):
+                build_store(tmp_path / "s", fitted, entities)
+        # The kill landed between tmp-write and rename: a partial artifact
+        # exists but no manifest references it, so the store is invisible.
+        assert list((tmp_path / "s").glob("*.tmp.*"))
+        with pytest.raises(FileNotFoundError):
+            EmbeddingStore.open(tmp_path / "s")
+
+    def test_rerun_after_kill_discards_partials_and_completes(self, tmp_path,
+                                                              fitted, dataset):
+        entities = _test_entities(dataset)
+        with inject(FaultPlan.single("store.build", "kill")):
+            with pytest.raises(TrainingKilled):
+                build_store(tmp_path / "s", fitted, entities)
+        COUNTERS.reset()
+        store = build_store(tmp_path / "s", fitted, entities)
+        assert COUNTERS.store_build_discards >= 1
+        assert not list((tmp_path / "s").glob("*.tmp.*"))
+        report = parity_report(fitted, store, dataset.split.test)
+        assert report["bitwise"], report
+
+    def test_build_transient_absorbed_by_retry(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        with inject(FaultPlan.single("store.build", "transient")) as plan:
+            store = build_store(tmp_path / "s", fitted, entities)
+        assert plan.fired("store.build", "transient") == 1
+        report = parity_report(fitted, store, dataset.split.test)
+        assert report["bitwise"], report
+
+
+# ======================================================================
+# Staleness / invalidation (R005)
+# ======================================================================
+class TestInvalidation:
+    def test_params_version_bump_invalidates_store_and_lru(self, tmp_path,
+                                                           fitted, dataset):
+        entities = _test_entities(dataset)
+        store = build_store(tmp_path / "s", fitted, entities)
+        assert store.get(entities[0]) is not None
+        stale_key = ("store", stable_record_key(entities[0]), params_version(),
+                     instance_token(store))
+        assert stale_key in store_cache()
+
+        bump_params_version()   # what any optimizer step / weight load does
+        try:
+            assert not store.valid()
+            assert store.get(entities[0]) is None
+            assert store.stats.stale_misses == 1
+            # The fronting LRU keys on params_version too: the pre-bump
+            # entry can never be returned for a post-bump key.
+            fresh_key = ("store", stable_record_key(entities[0]),
+                         params_version(), instance_token(store))
+            assert fresh_key != stale_key
+            assert fresh_key not in store_cache()
+
+            # Scoring still works — every record falls through live.
+            scorer = StoreBackedScorer(fitted, store=store)
+            scores = scorer.scores(list(dataset.split.test)[:3])
+            assert scores.shape == (3,)
+            assert scorer.live_fallbacks > 0
+
+            # Same weights, re-bound: the store serves again (digest still
+            # matches; rebinding just refreshes the pinned version).
+            assert store.bind(fitted._network)
+            assert store.get(entities[0]) is not None
+        finally:
+            # Leave the module-scoped matcher bound for later tests.
+            store.bind(fitted._network)
+
+    def test_digest_mismatch_refuses_to_bind(self, tmp_path, fitted, dataset):
+        entities = _test_entities(dataset)
+        store = build_store(tmp_path / "s", fitted, entities)
+        store.manifest["weights_digest"] = "0" * 40   # a different network
+        assert not store.bind(fitted._network)
+        assert not store.valid()
+        assert store.get(entities[0]) is None
+        assert store.stats.stale_misses == 1
+
+    def test_weights_digest_tracks_parameters(self, fitted):
+        class _Stub:
+            def __init__(self, state):
+                self._state = state
+
+            def state_dict(self):
+                return self._state
+
+        state = fitted._network.state_dict()
+        base = weights_digest(_Stub(state))
+        assert base == weights_digest(fitted._network)   # deterministic
+        name = sorted(state)[0]
+        perturbed = dict(state)
+        perturbed[name] = np.asarray(state[name]) + 1e-3
+        assert weights_digest(_Stub(perturbed)) != base
+
+
+# ======================================================================
+# Serving integration
+# ======================================================================
+class TestServingIntegration:
+    def test_service_serves_tier1_from_store(self, tmp_path, fitted, dataset):
+        from repro.serving import InferenceService, ServingConfig, build_cascade
+
+        store = build_store(tmp_path / "s", fitted, _test_entities(dataset))
+        cascade = build_cascade(fitted, dataset)
+        pairs = list(dataset.split.test)[:6]
+        config = ServingConfig(queue_capacity=8, num_workers=2)
+        with InferenceService(cascade, config, store=store) as service:
+            response = service.submit(pairs).result(60.0)
+            stats = service.stats()
+        assert response.tier_level == 1
+        # The service wrapped tier 1 in place; parity is against the
+        # wrapper (exactly what the soak harness asserts).
+        assert isinstance(cascade.tier1.matcher, StoreBackedScorer)
+        offline = cascade.tier1.matcher.scores(pairs)
+        assert np.array_equal(response.scores, offline)
+        assert stats["store"] is not None
+        assert stats["store"]["store"]["hits"] > 0
+        assert "store_corrupt_shards" in stats["recovery"]
+        assert "store_build_discards" in stats["recovery"]
+
+    def test_soak_with_store_keeps_parity(self, tmp_path, fitted, dataset):
+        from repro.serving import ServingConfig, build_cascade, run_soak
+
+        store = build_store(tmp_path / "s", fitted, _test_entities(dataset))
+        cascade = build_cascade(fitted, dataset)
+        report = run_soak(cascade, dataset.split.test,
+                          config=ServingConfig(queue_capacity=8, num_workers=2),
+                          n_clients=2, requests_per_client=3,
+                          pairs_per_request=4, seed=0, store=store)
+        assert report.conserved, report.summary()
+        assert report.tier1_parity, report.summary()
+        assert report.service_stats["store"]["store"]["hits"] > 0
