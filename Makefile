@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint ci coverage check bench bench-full bench-perf bench-serve bench-robust examples report clean-cache
+.PHONY: install test lint ci coverage check bench bench-full bench-perf bench-serve bench-robust bench-block examples report clean-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,7 +23,8 @@ lint:
 # asserting no crash and record conservation), and an embedding-store
 # smoke: build a tiny shard set, score the test split from it, and assert
 # bitwise store/live parity plus full store coverage (`embed --verify`
-# exits non-zero on either).
+# exits non-zero on either), and a blocking smoke (1k synthetic records;
+# an ANN blocker must reach pair-completeness >= 0.9 at >= 5x reduction).
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro serve --dataset Beer --fast --soak \
@@ -33,6 +34,7 @@ ci: lint
 	PYTHONPATH=src $(PYTHON) -m repro embed --dataset Beer --fast \
 		--store .repro-ci-store --verify
 	rm -rf .repro-ci-store
+	PYTHONPATH=src $(PYTHON) benchmarks/run_block.py --smoke
 
 # Line coverage of src/repro over the fast tier (tools/cov.py uses
 # coverage.py when installed, else a built-in settrace fallback).
@@ -61,6 +63,11 @@ bench-serve:
 # rate for HierGAT/Ditto/Magellan, writes BENCH_robust.json.
 bench-robust:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_robust.py
+
+# Blocking benchmark: PC/RR curves at 10k + the streaming 1M-record build,
+# writes BENCH_block.json.
+bench-block:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_block.py
 
 bench-full:
 	$(PYTHON) benchmarks/run_all.py

@@ -1,14 +1,43 @@
 """Blocking: cheap candidate filtering before matching (Section 2.1, 6.3).
 
-Two blockers are provided, matching the paper's two pipelines:
+Four blockers are provided behind the shared :class:`Blocker` interface
+(see ``docs/BLOCKING.md``):
 
-* :func:`overlap_blocker` — keyword/word-overlap filtering (Magellan style),
-  used to prune obviously-unmatching pairs for the pairwise pipeline.
-* :class:`TfidfIndex` — TF-IDF cosine top-N retrieval, used to build the
-  collective-ER candidate sets (top-16 per query entity, Section 6.3).
+* :func:`overlap_blocker` / :class:`OverlapBlocker` — keyword/word-overlap
+  filtering (Magellan style), used to prune obviously-unmatching pairs for
+  the pairwise pipeline.
+* :class:`TfidfIndex` / :class:`TfidfBlocker` — TF-IDF cosine top-N
+  retrieval, used to build the collective-ER candidate sets (top-16 per
+  query entity, Section 6.3).
+* :class:`MinHashLSHBlocker` — MinHash/LSH banding over token shingles;
+  streaming builds, O(1)-amortized incremental ``add``.
+* :class:`RandomProjectionBlocker` — signed random projection (SimHash)
+  over hashed token vectors or caller-supplied embeddings.
+
+:func:`candidate_pairs` adapts any blocker to the cross-table ``(i, j)``
+pair-list shape the pipeline consumes; :func:`evaluate_blocker` scores a
+pair list for pairs-completeness / reduction ratio.
 """
 
-from repro.blocking.keyword import overlap_blocker, shared_token_count
-from repro.blocking.tfidf import TfidfIndex
+from repro.blocking.ann import (MinHashLSHBlocker, RandomProjectionBlocker,
+                                collision_probability)
+from repro.blocking.base import Blocker, candidate_pairs
+from repro.blocking.evaluation import BlockerQuality, evaluate_blocker
+from repro.blocking.keyword import (OverlapBlocker, overlap_blocker,
+                                    shared_token_count)
+from repro.blocking.tfidf import TfidfBlocker, TfidfIndex
 
-__all__ = ["overlap_blocker", "shared_token_count", "TfidfIndex"]
+__all__ = [
+    "Blocker",
+    "BlockerQuality",
+    "MinHashLSHBlocker",
+    "OverlapBlocker",
+    "RandomProjectionBlocker",
+    "TfidfBlocker",
+    "TfidfIndex",
+    "candidate_pairs",
+    "collision_probability",
+    "evaluate_blocker",
+    "overlap_blocker",
+    "shared_token_count",
+]

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
+from repro.blocking.base import Blocker
 from repro.data.schema import Entity
 from repro.text.tokenizer import tokenize
 
@@ -43,6 +44,56 @@ def overlap_blocker(
             if c >= min_shared_tokens:
                 candidates.append((i, j))
     return candidates
+
+
+class OverlapBlocker(Blocker):
+    """:class:`~repro.blocking.base.Blocker` over the token inverted index.
+
+    Candidates are indexed records sharing ≥ ``min_shared_tokens`` distinct
+    tokens with the query; when more than ``k`` qualify, membership of the
+    returned set is decided by (shared-token count desc, index asc).
+    """
+
+    name = "overlap"
+
+    def __init__(self, min_shared_tokens: int = 1):
+        if min_shared_tokens < 1:
+            raise ValueError("min_shared_tokens must be >= 1")
+        self.min_shared_tokens = min_shared_tokens
+        self._records: List[Entity] = []
+        self._index: Dict[str, List[int]] = {}
+
+    @property
+    def records(self) -> Sequence[Entity]:
+        return self._records
+
+    def fit(self, table: Sequence[Entity]) -> "OverlapBlocker":
+        self._records = []
+        self._index = {}
+        for entity in table:
+            self.add(entity)
+        return self
+
+    def add(self, record: Entity) -> int:
+        j = len(self._records)
+        self._records.append(record)
+        for token in sorted(set(tokenize(record.text()))):
+            self._index.setdefault(token, []).append(j)
+        return j
+
+    def candidates(self, record: Entity, k: int = 16) -> List[int]:
+        if k <= 0:
+            raise ValueError("k must be >= 1")
+        counts: Dict[int, int] = {}
+        for token in sorted(set(tokenize(record.text()))):
+            for j in self._index.get(token, ()):
+                counts[j] = counts.get(j, 0) + 1
+        eligible = [j for j, c in counts.items()
+                    if c >= self.min_shared_tokens
+                    and self._records[j].uid != record.uid]
+        if len(eligible) > k:
+            eligible = sorted(eligible, key=lambda j: (-counts[j], j))[:k]
+        return sorted(eligible)
 
 
 def block_recall(

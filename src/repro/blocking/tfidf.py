@@ -8,11 +8,12 @@ the entities' similarity scores ... we set N as 16."
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 
+from repro.blocking.base import Blocker
 from repro.data.schema import Entity
 from repro.text.tokenizer import tokenize
 
@@ -74,8 +75,15 @@ class TfidfIndex:
     def query(self, entity: Entity, top_n: int = 16,
               exclude_uid: bool = True) -> List[Tuple[int, float]]:
         """Top-N most cosine-similar indexed entities to ``entity``."""
-        scores = (self._matrix @ self.vectorize(entity).T).toarray().ravel()
-        order = np.argsort(-scores)
+        vec = self.vectorize(entity)
+        scores = (self._matrix @ vec.T).toarray().ravel()
+        if vec.nnz == 0:
+            # All query tokens are out-of-vocabulary: every score is 0.0 and
+            # ``argsort`` over the all-equal array is implementation-ordered.
+            # Return index order so the all-OOV path is deterministic.
+            order = np.arange(len(scores))
+        else:
+            order = np.argsort(-scores)
         results: List[Tuple[int, float]] = []
         for idx in order:
             idx = int(idx)
@@ -85,3 +93,41 @@ class TfidfIndex:
             if len(results) >= top_n:
                 break
         return results
+
+
+class TfidfBlocker(Blocker):
+    """:class:`~repro.blocking.base.Blocker` over :class:`TfidfIndex`.
+
+    IDF weights are corpus statistics, so incremental ``add`` re-derives the
+    whole index — O(n) per add, correct by construction (both sides of the
+    add == rebuild parity contract literally rebuild).  Use the ANN blockers
+    in :mod:`repro.blocking.ann` when adds must be cheap.
+    """
+
+    name = "tfidf"
+
+    def __init__(self):
+        self._records: List[Entity] = []
+        self._index: Optional[TfidfIndex] = None
+
+    @property
+    def records(self) -> Sequence[Entity]:
+        return self._records
+
+    def fit(self, table: Sequence[Entity]) -> "TfidfBlocker":
+        self._records = list(table)
+        self._index = TfidfIndex(self._records) if self._records else None
+        return self
+
+    def add(self, record: Entity) -> int:
+        self._records.append(record)
+        self._index = TfidfIndex(self._records)
+        return len(self._records) - 1
+
+    def candidates(self, record: Entity, k: int = 16) -> List[int]:
+        if k <= 0:
+            raise ValueError("k must be >= 1")
+        if self._index is None:
+            return []
+        hits = self._index.query(record, top_n=k, exclude_uid=True)
+        return sorted(idx for idx, _ in hits)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.blocking.base import Blocker, candidate_pairs
 from repro.blocking.keyword import overlap_blocker
 from repro.data.schema import Entity, EntityPair, PairDataset
 from repro.matchers.base import Matcher
@@ -44,13 +45,24 @@ class ERPipeline:
     """Blocking + matching, packaged the way a downstream user consumes ER."""
 
     def __init__(self, matcher: Optional[Matcher] = None,
-                 min_shared_tokens: int = 2):
+                 min_shared_tokens: int = 2,
+                 blocker: Optional[Blocker] = None,
+                 candidates_per_record: int = 16):
+        """``blocker`` swaps the candidate generator (see docs/BLOCKING.md).
+
+        ``None`` keeps the legacy keyword-overlap path bit-for-bit; any
+        :class:`~repro.blocking.base.Blocker` (TF-IDF, MinHash/LSH, random
+        projection) is fitted over ``table_b`` at resolve time and queried
+        with up to ``candidates_per_record`` candidates per ``table_a`` row.
+        """
         if matcher is None:
             from repro.core import HierGAT
 
             matcher = HierGAT()
         self.matcher = matcher
         self.min_shared_tokens = min_shared_tokens
+        self.blocker = blocker
+        self.candidates_per_record = candidates_per_record
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -86,8 +98,12 @@ class ERPipeline:
         if not table_a or not table_b:
             return ResolutionResult([], {}, 0, len(table_a) * len(table_b))
 
-        candidates = overlap_blocker(table_a, table_b,
-                                     min_shared_tokens=self.min_shared_tokens)
+        if self.blocker is not None:
+            candidates = candidate_pairs(self.blocker, table_a, table_b,
+                                         k=self.candidates_per_record)
+        else:
+            candidates = overlap_blocker(
+                table_a, table_b, min_shared_tokens=self.min_shared_tokens)
         pairs = [EntityPair(table_a[i], table_b[j], 0) for i, j in candidates]
         scores: Dict[Tuple[int, int], float] = {}
         matches: List[Tuple[int, int]] = []

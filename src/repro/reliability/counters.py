@@ -63,6 +63,9 @@ class RecoveryCounters:
     store_corrupt_shards: int = 0
     #: Partial ``*.tmp.*`` store writes discarded by a subsequent build.
     store_build_discards: int = 0
+    #: ANN blocking indexes rebuilt from retained records after a
+    #: signature-row checksum mismatch (corrupt index detected at query).
+    blocking_index_rebuilds: int = 0
 
     def __post_init__(self):
         # Not a dataclass field: asdict()/fields() must never see the lock.

@@ -84,6 +84,7 @@ KNOWN_SITES: Dict[str, str] = {
     "serving.tier2": "tier-2 feature-matcher scoring (serving/service.py)",
     "guard.validate": "firewall record validation (guard/firewall.py)",
     "guard.drift": "drift-monitor window evaluation (guard/drift.py)",
+    "blocking.index": "ANN blocking index query integrity (blocking/ann.py)",
 }
 
 

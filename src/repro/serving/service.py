@@ -46,7 +46,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.schema import EntityPair
+from repro.blocking.base import Blocker
+from repro.data.schema import Entity, EntityPair
 from repro.guard.firewall import DataFirewall, summarize
 from repro.perf.profiler import wall_clock
 from repro.reliability.counters import COUNTERS
@@ -204,9 +205,19 @@ class InferenceService:
     def __init__(self, cascade: DegradationCascade,
                  config: ServingConfig = ServingConfig(),
                  firewall: Optional[DataFirewall] = None,
-                 store: Optional[EmbeddingStore] = None):
+                 store: Optional[EmbeddingStore] = None,
+                 blocker: Optional[Blocker] = None):
         self.cascade = cascade
         self.config = config
+        #: Optional online blocker: :meth:`index_record` grows its index
+        #: incrementally and :meth:`submit_query` turns one raw record into
+        #: blocked candidate pairs scored through the normal cascade.  One
+        #: lock serializes index mutation against queries — blockers are
+        #: deterministic, not thread-safe.
+        self.blocker = blocker
+        self._blocker_lock = threading.Lock()
+        self._queries_blocked = 0
+        self._query_candidates = 0
         #: Optional data-quality firewall: request pairs are validated at
         #: submit (invalid records quarantined, never scored), accepted
         #: traffic and tier-1 scores feed its drift monitor, and sustained
@@ -314,6 +325,43 @@ class InferenceService:
                 f"request queue full ({self.config.queue_capacity} waiting); "
                 f"retry with backoff") from None
         return pending
+
+    # -- online blocking ------------------------------------------------
+    def index_record(self, record: Entity) -> int:
+        """Incrementally add ``record`` to the online blocking index.
+
+        Uses the blocker's ``add`` path (bitwise-equivalent to a rebuild
+        with the record included), so the serving index never needs an
+        offline refit to stay current.
+        """
+        if self.blocker is None:
+            raise RuntimeError("service was built without a blocker")
+        with self._blocker_lock:
+            return self.blocker.add(record)
+
+    def submit_query(self, record: Entity, k: int = 16,
+                     deadline_s: Optional[float] = None,
+                     ) -> Tuple[List[int], Optional[PendingResponse]]:
+        """Block-then-score one raw record against the indexed table.
+
+        Returns the candidate indices (into ``blocker.records``) and the
+        pending response scoring ``record`` against each candidate — in
+        candidate order, so ``scores[n]`` belongs to ``candidates[n]``.
+        A record with no candidates returns ``([], None)`` without
+        consuming queue capacity; admission-control rejections propagate
+        from :meth:`submit` unchanged.
+        """
+        if self.blocker is None:
+            raise RuntimeError("service was built without a blocker")
+        with self._blocker_lock:
+            candidates = self.blocker.candidates(record, k=k)
+            matched = [self.blocker.records[j] for j in candidates]
+            self._queries_blocked += 1
+            self._query_candidates += len(candidates)
+        if not candidates:
+            return [], None
+        pairs = [EntityPair(record, other, 0) for other in matched]
+        return candidates, self.submit(pairs, deadline_s=deadline_s)
 
     # -- worker side ----------------------------------------------------
     def _worker_loop(self) -> None:
@@ -471,6 +519,15 @@ class InferenceService:
         tier1 = self.cascade.tier1.matcher
         if isinstance(tier1, StoreBackedScorer):
             store_stats = tier1.stats()
+        blocking: Optional[Dict[str, object]] = None
+        if self.blocker is not None:
+            with self._blocker_lock:
+                blocking = {
+                    "blocker": type(self.blocker).name,
+                    "indexed_records": len(self.blocker),
+                    "queries": self._queries_blocked,
+                    "candidates_emitted": self._query_candidates,
+                }
         return {
             "healthy": self.healthy(),
             "service": {
@@ -485,10 +542,11 @@ class InferenceService:
             "caches": perf.cache_stats(),
             "firewall": firewall,
             "store": store_stats,
+            "blocking": blocking,
             "recovery": {key: recovery[key] for key in (
                 "transient_retries", "cache_degraded", "breaker_trips",
                 "requests_shed", "tier2_degradations", "tier3_degradations",
                 "records_quarantined", "records_replayed", "drift_flags",
                 "drift_forced_degradations", "store_corrupt_shards",
-                "store_build_discards")},
+                "store_build_discards", "blocking_index_rebuilds")},
         }

@@ -103,3 +103,19 @@ class TestTfidfIndex:
     def test_query_never_crashes(self, words):
         index = TfidfIndex(self.corpus())
         index.query(product("q", " ".join(words)), top_n=2)
+
+    def test_all_oov_query_returns_index_order(self):
+        # Regression: an all-OOV query produces an all-zero score vector,
+        # and ``argsort`` over all-equal values is implementation-ordered
+        # (quicksort permutation), not deterministic by contract.  The
+        # empty-vector path must fall back to index order.
+        index = TfidfIndex(self.corpus())
+        hits = index.query(product("q", "completely novel tokens"), top_n=3)
+        assert hits == [(0, 0.0), (1, 0.0), (2, 0.0)]
+
+    def test_all_oov_query_still_excludes_uid(self):
+        entities = [product("p0", "xyzzy"), product("p1", "plugh")]
+        index = TfidfIndex(entities)
+        hits = index.query(Entity.from_dict("p0", {"title": "novel words"}),
+                           top_n=5)
+        assert hits == [(1, 0.0)]
