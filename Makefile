@@ -10,15 +10,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Invariant lint: the determinism/gradient rule pack in src/repro/analysis
-# (rule catalog in docs/ANALYSIS.md).  Exit 0 means the tree is clean.
+# Invariant lint: the determinism/gradient rule pack (R001-R006) plus the
+# concurrency pack (R007-R010: guarded state, lock order, no blocking under
+# lock, atomic counters) in src/repro/analysis (catalog in docs/ANALYSIS.md).
+# Exit 0 means the tree is clean.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
 
 # Fast tier: everything except @pytest.mark.slow, for pre-push / CI loops.
 # Runs from a clean checkout (no `make install` needed) via PYTHONPATH.
-# Ends with a live `repro serve --soak` smoke (concurrent traffic + the
-# standard chaos plan, asserting conservation and tier-1 parity), a fast
+# Ends with a live `repro serve --soak --lockcheck` smoke (concurrent
+# traffic + the standard chaos plan, asserting conservation, tier-1 parity,
+# and zero lock-order violations / unguarded shared-state writes), a fast
 # firewall fuzz smoke (corrupted bytes through ingestion + serving,
 # asserting no crash and record conservation), and an embedding-store
 # smoke: build a tiny shard set, score the test split from it, and assert
@@ -28,7 +31,7 @@ lint:
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro serve --dataset Beer --fast --soak \
-		--clients 3 --requests 4 --pairs 6 --workers 3 --capacity 8
+		--lockcheck --clients 3 --requests 4 --pairs 6 --workers 3 --capacity 8
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_guard_fuzz.py -q -k smoke
 	rm -rf .repro-ci-store
 	PYTHONPATH=src $(PYTHON) -m repro embed --dataset Beer --fast \
@@ -41,9 +44,14 @@ ci: lint
 coverage:
 	PYTHONPATH=src $(PYTHON) tools/cov.py tests -q -m "not slow"
 
-# Full pre-merge gate: the unit suite plus a profiled end-to-end smoke run.
+# Full pre-merge gate: the unit suite, a coverage floor on the analysis
+# package (the lint rules + sanitizers must themselves stay well-tested),
+# plus a profiled end-to-end smoke run.
 check:
 	$(PYTHON) -m pytest tests/ -q
+	PYTHONPATH=src $(PYTHON) tools/cov.py --package analysis --min 90 \
+		tests/test_analysis.py tests/test_analysis_concurrency.py \
+		-q -m "not slow"
 	$(PYTHON) -m repro profile --dataset Beer --fast --perf full --top 5
 
 bench:

@@ -21,6 +21,14 @@ if _os.environ.get("REPRO_SANITIZE", "").strip().lower() in ("1", "on", "true", 
 
     _sanitizer.enable()
 
+if _os.environ.get("REPRO_LOCKCHECK", "").strip().lower() in ("1", "on", "true", "yes"):
+    # Opt-in lock-order sanitizer: every NamedLock acquisition is checked
+    # against the global hierarchy and recorded as a dynamic graph edge
+    # (see repro.analysis.lockcheck and docs/ANALYSIS.md).
+    from repro.analysis import lockcheck as _lockcheck
+
+    _lockcheck.enable_from_env()
+
 
 def __getattr__(name):
     """Lazy top-level re-exports to keep ``import repro`` light."""

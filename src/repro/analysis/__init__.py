@@ -4,12 +4,20 @@ Two enforcement layers for the repo's determinism and gradient contracts
 (see ``docs/ANALYSIS.md`` for the catalog):
 
 * :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an AST
-  linter (``repro lint`` / ``make lint``) with rules R001–R005 covering
+  linter (``repro lint`` / ``make lint``) with rules R001–R006 covering
   nondeterminism sources, in-place graph mutation, gradcheck coverage,
-  fault-site hygiene, and cache-key completeness.
+  fault-site hygiene, cache-key completeness, and silent except blocks.
+* :mod:`repro.analysis.concurrency` — the concurrency pack (R007–R010):
+  guarded-state discipline, the static lock-order graph checked against
+  :data:`repro.reliability.locks.LOCK_HIERARCHY`, no-blocking-under-lock,
+  and atomic-counter enforcement.
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime mode
   (``REPRO_SANITIZE=1``) that freezes graph-visible numpy arrays so any
   in-place write raises at the offending line.
+* :mod:`repro.analysis.lockcheck` — the opt-in runtime lock-order
+  sanitizer (``REPRO_LOCKCHECK=1`` / ``repro serve --lockcheck``):
+  per-thread held-set tracking, dynamic order assertion, cycle
+  detection, and unguarded-write watches; feeds ``repro lockgraph``.
 """
 
 from repro.analysis.engine import (
@@ -23,7 +31,7 @@ from repro.analysis.engine import (
     dotted_name,
 )
 from repro.analysis.rules import default_rules
-from repro.analysis import sanitizer
+from repro.analysis import concurrency, lockcheck, sanitizer
 
 __all__ = [
     "Analyzer",
@@ -33,7 +41,9 @@ __all__ = [
     "ProjectRule",
     "Report",
     "Rule",
+    "concurrency",
     "default_rules",
     "dotted_name",
+    "lockcheck",
     "sanitizer",
 ]

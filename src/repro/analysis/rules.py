@@ -854,6 +854,8 @@ class SilentExceptRule(Rule):
 
 def default_rules() -> List[Rule]:
     """The rule pack ``repro lint`` runs by default."""
+    from repro.analysis.concurrency import concurrency_rules
+
     return [
         NondeterminismRule(),
         InPlaceMutationRule(),
@@ -861,4 +863,5 @@ def default_rules() -> List[Rule]:
         FaultSiteRule(),
         CacheKeyRule(),
         SilentExceptRule(),
+        *concurrency_rules(),
     ]

@@ -10,7 +10,8 @@ Commands:
     embed --dataset NAME          build/refresh embedding-store shards for serving
     serve --dataset NAME          drive traffic through the online serving layer
     quarantine --store PATH       inspect or replay a JSONL quarantine store
-    lint [PATHS...]               check the determinism/gradient invariants (R001-R006)
+    lint [PATHS...]               check the determinism/gradient/concurrency invariants (R001-R010)
+    lockgraph [--soak]            emit the static ∪ dynamic lock acquisition graph
 """
 
 from __future__ import annotations
@@ -314,7 +315,8 @@ def cmd_serve(args) -> int:
         cascade, dataset.split.test, config=config, plan=plan,
         n_clients=args.clients, requests_per_client=args.requests,
         pairs_per_request=args.pairs, deadline_s=args.deadline,
-        seed=args.seed, store=store)
+        seed=args.seed, store=store,
+        lockcheck=True if args.lockcheck else None)
 
     if args.json:
         print(_json.dumps(report.as_dict(), indent=2, default=str))
@@ -332,7 +334,9 @@ def cmd_serve(args) -> int:
     if not report.ok:
         print("SOAK FAILED: "
               + ("requests lost; " if not report.conserved else "")
-              + ("tier-1 parity broken" if not report.tier1_parity else ""),
+              + ("tier-1 parity broken; " if not report.tier1_parity else "")
+              + ("lock-order/guarded-write violations"
+                 if not report.locks_clean else ""),
               file=sys.stderr)
         return 1
     return 0
@@ -380,6 +384,100 @@ def cmd_quarantine(args) -> int:
                                      sort_keys=True) + "\n")
         print(f"wrote {len(accepted)} replayed record(s) to {args.out}")
     return 0
+
+
+def cmd_lockgraph(args) -> int:
+    """Emit the merged static ∪ dynamic lock acquisition graph.
+
+    The static half is the R008 collection (every nested ``with`` plus
+    one level of interprocedural resolution) annotated with
+    ``LOCK_HIERARCHY`` ranks; ``--soak`` additionally runs a small
+    lock-checked chaos soak and merges the dynamically observed edges
+    and per-lock hold-time percentiles.  Exit 1 if the merged graph has
+    a cycle or the dynamic run reported violations.
+    """
+    import json as _json
+
+    from repro.analysis.concurrency import build_static_graph, find_cycles
+
+    graph = build_static_graph(args.root, tuple(args.paths))
+    edges: dict = {(e["src"], e["dst"]): dict(e, origin="static")
+                   for e in graph["edges"]}
+    dynamic = None
+    if args.soak:
+        _apply_scale(args)
+        from repro.data import load_dataset
+        from repro.serving import build_cascade, default_chaos_plan, run_soak
+
+        dataset = load_dataset(args.dataset, dirty=args.dirty)
+        matcher = _make_matcher("hiergat")
+        print(f"fitting tier-1 matcher on {args.dataset} for the dynamic "
+              f"half ...", file=sys.stderr)
+        matcher.fit(dataset)
+        report = run_soak(
+            build_cascade(matcher, dataset), dataset.split.test,
+            plan=default_chaos_plan(), n_clients=2, requests_per_client=4,
+            pairs_per_request=4, seed=0, lockcheck=True)
+        dynamic = report.lockcheck
+        for edge in dynamic["edges"]:
+            key = (edge["src"], edge["dst"])
+            if key in edges:
+                edges[key]["origin"] = "both"
+                edges[key]["dynamic_count"] = edge["count"]
+            else:
+                edges[key] = {"src": edge["src"], "dst": edge["dst"],
+                              "count": edge["count"], "origin": "dynamic"}
+    cycles = find_cycles(edges)
+    violations = []
+    if dynamic is not None:
+        violations = (list(dynamic["order_violations"])
+                      + list(dynamic["unguarded_writes"]))
+    merged = {
+        "hierarchy": graph["hierarchy"],
+        "nodes": sorted(set(graph["nodes"])
+                        | {name for key in edges for name in key}),
+        "edges": [edges[key] for key in sorted(edges)],
+        "cycles": cycles,
+        "acyclic": not cycles,
+        "violations": violations,
+        "hold_ms": dynamic["hold_ms"] if dynamic else {},
+        "acquisitions": dynamic["acquisitions"] if dynamic else {},
+    }
+    if args.dot:
+        print(_dot_graph(merged))
+    else:
+        print(_json.dumps(merged, indent=2))
+    if cycles or violations:
+        print("LOCKGRAPH FAILED: "
+              + (f"{len(cycles)} cycle(s); " if cycles else "")
+              + (f"{len(violations)} dynamic violation(s)"
+                 if violations else ""),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _dot_graph(merged) -> str:
+    """Graphviz DOT for the merged acquisition graph."""
+    lines = ["digraph lockorder {", "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace"];']
+    hierarchy = merged["hierarchy"]
+    for name in merged["nodes"]:
+        rank = hierarchy.get(name)
+        label = name if rank is None else f"{name}\\nrank {rank}"
+        shape = ' style=dashed' if rank is None else ""
+        lines.append(f'  "{name}" [label="{label}"{shape}];')
+    styles = {"static": "solid", "dynamic": "dashed", "both": "bold"}
+    for edge in merged["edges"]:
+        hold = merged["hold_ms"].get(edge["dst"])
+        label = edge["origin"]
+        if hold is not None:
+            label += f"\\np99 {hold['p99_ms']:.2f}ms"
+        lines.append(
+            f'  "{edge["src"]}" -> "{edge["dst"]}" '
+            f'[label="{label}", style={styles[edge["origin"]]}];')
+    lines.append("}")
+    return "\n".join(lines)
 
 
 def cmd_lint(args) -> int:
@@ -491,6 +589,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="entity pairs per request")
     serve.add_argument("--seed", type=int, default=0,
                        help="workload-composition seed")
+    serve.add_argument("--lockcheck", action="store_true",
+                       help="run the lock-order sanitizer for the soak "
+                            "(also honoured via REPRO_LOCKCHECK=1)")
     serve.add_argument("--json", action="store_true",
                        help="print the full report as JSON")
     serve.add_argument("--store", default=None,
@@ -529,6 +630,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also enable the runtime write-sanitizer hooks")
     lint.add_argument("--root", default=".",
                       help="repo root for cross-file rules (default: cwd)")
+
+    lockgraph = sub.add_parser(
+        "lockgraph",
+        help="emit the static ∪ dynamic lock acquisition graph")
+    lockgraph.add_argument("--root", default=".",
+                           help="repo root (default: cwd)")
+    lockgraph.add_argument("--paths", nargs="*", default=["src/repro"],
+                           help="paths for the static half")
+    lockgraph.add_argument("--dot", action="store_true",
+                           help="emit Graphviz DOT instead of JSON")
+    lockgraph.add_argument("--soak", action="store_true",
+                           help="run a small lock-checked chaos soak and "
+                                "merge its dynamic edges + hold times")
+    lockgraph.add_argument("--dataset", default="Beer",
+                           help="dataset for the --soak run")
+    lockgraph.add_argument("--dirty", action="store_true")
+    lockgraph.add_argument("--fast", action="store_true",
+                           help="tiny CI scale for the --soak run")
     return parser
 
 
@@ -545,6 +664,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "quarantine": cmd_quarantine,
         "lint": cmd_lint,
+        "lockgraph": cmd_lockgraph,
     }
     return handlers[args.command](args)
 

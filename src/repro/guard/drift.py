@@ -40,13 +40,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.schema import EntityPair, PairDataset
 from repro.reliability import COUNTERS, RetryPolicy, fault_point, retry_with_backoff
+from repro.reliability.locks import named_lock
 from repro.text.tokenizer import tokenize
 from repro.text.vocab import NAN_TOKEN, Vocabulary
 
@@ -199,7 +199,7 @@ class DriftMonitor:
         self.baseline = baseline
         self.thresholds = thresholds
         self.retry_policy = retry_policy
-        self._lock = threading.Lock()
+        self._lock = named_lock("guard.drift")
         # Input-window buffers (entities).
         self._entities = 0
         self._oov = 0
@@ -209,11 +209,20 @@ class DriftMonitor:
         self._lengths: List[float] = []
         # Score-window buffer.
         self._scores: List[float] = []
-        # Flag state.
+        # Flag state.  Windows are sequenced at *roll* time (the moment a
+        # full buffer is snapshotted and reset, under the lock) and their
+        # results applied strictly in that order: two window evaluations
+        # can overlap, and the KS/PSI math runs outside the lock, so the
+        # slower evaluation may finish *after* a window rolled later.
+        # Applying results in completion order would let a stale clean
+        # window clear sustain/forcing state a newer flagged window set.
         self.windows_evaluated = 0
         self.flags: List[Tuple[int, Tuple[str, ...]]] = []
         self._consecutive = 0
         self._forcing = False
+        self._windows_rolled = 0          # next roll sequence number
+        self._next_window = 0             # next sequence to apply
+        self._pending_windows: Dict[int, Tuple[str, ...]] = {}
         self._baseline_lengths = np.asarray(baseline.length_sample,
                                             dtype=np.float64)
         self._baseline_scores = np.asarray(baseline.score_sample,
@@ -283,6 +292,8 @@ class DriftMonitor:
             self._entities = self._oov = self._tokens = 0
             self._null_counts, self._attr_totals = {}, {}
             self._lengths = []
+            seq = self._windows_rolled
+            self._windows_rolled += 1
 
         def compute() -> Dict[str, float]:
             stats = {"oov_rate": oov / tokens if tokens else 0.0}
@@ -306,7 +317,7 @@ class DriftMonitor:
             reasons.append("null_rate")
         if stats["length_ks"] > stats["length_ks_critical"]:
             reasons.append("value_length")
-        self._record_window(tuple(reasons))
+        self._record_window(seq, tuple(reasons))
 
     def _evaluate_score_window(self) -> None:
         with self._lock:
@@ -314,6 +325,8 @@ class DriftMonitor:
                 return
             scores = np.asarray(self._scores, dtype=np.float64)
             self._scores = []
+            seq = self._windows_rolled
+            self._windows_rolled += 1
 
         def compute() -> Dict[str, float]:
             return {
@@ -331,7 +344,7 @@ class DriftMonitor:
                 or (psi_applies
                     and stats["score_psi"] > self.thresholds.psi_threshold)):
             reasons.append("score_shift")
-        self._record_window(tuple(reasons))
+        self._record_window(seq, tuple(reasons))
 
     def _checked_stats(self, compute) -> Dict[str, float]:
         """Run ``compute`` under the ``guard.drift`` fault site.
@@ -353,24 +366,32 @@ class DriftMonitor:
         return retry_with_backoff(attempt, policy=self.retry_policy,
                                   description="drift window evaluation")
 
-    def _record_window(self, reasons: Tuple[str, ...]) -> None:
+    def _record_window(self, seq: int, reasons: Tuple[str, ...]) -> None:
+        """Apply a window's result in roll order, buffering early arrivals."""
+        flagged = 0
         with self._lock:
-            self.windows_evaluated += 1
-            if reasons:
-                self.flags.append((self.windows_evaluated, reasons))
-                self._consecutive += 1
-                if self._consecutive >= self.thresholds.sustain:
-                    self._forcing = True
-            else:
-                self._consecutive = 0
-                self._forcing = False
-        if reasons:
-            COUNTERS.increment("drift_flags")
+            self._pending_windows[seq] = reasons
+            while self._next_window in self._pending_windows:
+                applied = self._pending_windows.pop(self._next_window)
+                self._next_window += 1
+                self.windows_evaluated += 1
+                if applied:
+                    flagged += 1
+                    self.flags.append((self.windows_evaluated, applied))
+                    self._consecutive += 1
+                    if self._consecutive >= self.thresholds.sustain:
+                        self._forcing = True
+                else:
+                    self._consecutive = 0
+                    self._forcing = False
+        if flagged:
+            COUNTERS.increment("drift_flags", flagged)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
+                "windows_rolled": self._windows_rolled,
                 "windows_evaluated": self.windows_evaluated,
                 "flagged_windows": len(self.flags),
                 "forcing": self._forcing,

@@ -23,7 +23,6 @@ is removed from the store and counted in ``records_replayed``.
 from __future__ import annotations
 
 import dataclasses
-import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.schema import Entity, EntityPair
@@ -37,13 +36,14 @@ from repro.reliability import (
     fault_point,
     retry_with_backoff,
 )
+from repro.reliability.locks import named_lock
 
 
 class FirewallStats:
     """Lock-protected offered/accepted/quarantined/replayed tallies."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = named_lock("guard.firewall.stats")
         self.offered = 0
         self.accepted = 0
         self.quarantined = 0
@@ -59,13 +59,21 @@ class FirewallStats:
         with self._lock:
             return self.accepted + self.quarantined == self.offered
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, object]:
+        """All four tallies plus ``conserved``, from one lock acquisition.
+
+        ``conserved`` is computed from the same read as the numbers it
+        describes — a reader that took the :attr:`conserved` property
+        separately could pair a stale flag with fresher tallies.
+        """
         with self._lock:
             return {
                 "offered": self.offered,
                 "accepted": self.accepted,
                 "quarantined": self.quarantined,
                 "replayed": self.replayed,
+                "conserved":
+                    self.accepted + self.quarantined == self.offered,
             }
 
 
@@ -208,12 +216,14 @@ class _FirewallSummary:
 
 
 def summarize(firewall: DataFirewall) -> _FirewallSummary:
+    # One snapshot supplies both the tallies and their conserved flag, so
+    # the summary can never pair a flag with numbers it doesn't describe.
     snap = firewall.stats.snapshot()
     return _FirewallSummary(
         offered=snap["offered"],
         accepted=snap["accepted"],
         quarantined=snap["quarantined"],
         replayed=snap["replayed"],
-        conserved=firewall.stats.conserved,
+        conserved=snap["conserved"],
         by_reason=firewall.store.by_reason(),
     )

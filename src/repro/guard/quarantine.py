@@ -16,9 +16,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import threading
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
+
+from repro.reliability.locks import named_lock
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,7 +71,11 @@ class QuarantineStore:
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self._records: List[QuarantinedRecord] = []
-        self._lock = threading.Lock()
+        self._lock = named_lock("guard.quarantine")
+        # File appends/rewrites serialize behind their own lock so disk IO
+        # never happens under the record-list lock readers contend on
+        # (R009: no blocking call under a hot lock).
+        self._io_lock = named_lock("guard.quarantine.io")
 
     def __len__(self) -> int:
         with self._lock:
@@ -87,11 +92,13 @@ class QuarantineStore:
             return dict(Counter(r.reason for r in self._records))
 
     def add(self, record: QuarantinedRecord) -> None:
+        line = record.to_json()
         with self._lock:
             self._records.append(record)
-            if self.path is not None:
+        if self.path is not None:
+            with self._io_lock:
                 with open(self.path, "a", encoding="utf-8") as fh:
-                    fh.write(record.to_json() + "\n")
+                    fh.write(line + "\n")
 
     def remove(self, record: QuarantinedRecord) -> None:
         """Drop a record (it was successfully replayed)."""
@@ -107,10 +114,12 @@ class QuarantineStore:
         if self.path is None:
             return
         with self._lock:
-            tmp = self.path + ".tmp"
+            lines = [record.to_json() for record in self._records]
+        tmp = self.path + ".tmp"
+        with self._io_lock:
             with open(tmp, "w", encoding="utf-8") as fh:
-                for record in self._records:
-                    fh.write(record.to_json() + "\n")
+                for line in lines:
+                    fh.write(line + "\n")
             os.replace(tmp, self.path)
 
     @classmethod

@@ -15,11 +15,21 @@ crash-safe and *provably* so:
   bitwise-identical resume after a mid-epoch kill (``repro resume``).
 * :mod:`repro.reliability.counters` — global recovery counters, one per
   documented degradation path.
+* :mod:`repro.reliability.locks` — :func:`named_lock` and the single
+  global :data:`LOCK_HIERARCHY`; every lock in the tree is created here
+  so the static lock-order rule (R008) and the runtime sanitizer
+  (``REPRO_LOCKCHECK=1``) can see it.
 
 See ``docs/TESTING.md`` for the harness API and the recovery contracts.
 """
 
 from repro.reliability.counters import COUNTERS, RecoveryCounters
+from repro.reliability.locks import (
+    LOCK_HIERARCHY,
+    REGISTRY,
+    NamedLock,
+    named_lock,
+)
 from repro.reliability.faults import (
     CorruptDataFault,
     FaultPlan,
@@ -47,9 +57,10 @@ from repro.reliability.state import (
 
 __all__ = [
     "COUNTERS", "CorruptDataFault", "DEFAULT_TRANSIENT", "FaultPlan",
-    "FaultSpec", "InjectedFault", "RecoveryCounters", "RetryPolicy",
-    "STATE_FILE", "TrainState", "TrainingKilled", "TransientIOFault",
-    "active_plan", "collect_module_rngs", "fault_point", "inject",
-    "load_train_state", "restore_module_rngs", "retry_with_backoff",
+    "FaultSpec", "InjectedFault", "LOCK_HIERARCHY", "NamedLock",
+    "REGISTRY", "RecoveryCounters", "RetryPolicy", "STATE_FILE",
+    "TrainState", "TrainingKilled", "TransientIOFault", "active_plan",
+    "collect_module_rngs", "fault_point", "inject", "load_train_state",
+    "named_lock", "restore_module_rngs", "retry_with_backoff",
     "save_train_state",
 ]

@@ -18,8 +18,9 @@ and the optimizers, which must stay free of heavyweight dependencies.
 from __future__ import annotations
 
 import dataclasses
-import threading
 from typing import Dict
+
+from repro.reliability.locks import named_lock
 
 
 @dataclasses.dataclass
@@ -69,7 +70,7 @@ class RecoveryCounters:
 
     def __post_init__(self):
         # Not a dataclass field: asdict()/fields() must never see the lock.
-        self._lock = threading.Lock()
+        self._lock = named_lock("reliability.counters")
 
     def increment(self, name: str, n: int = 1) -> None:
         """Atomically add ``n`` to counter ``name`` (the only mutation path)."""

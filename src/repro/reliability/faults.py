@@ -49,9 +49,10 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-import threading
 from collections import Counter
 from typing import Dict, Mapping, Optional, Tuple
+
+from repro.reliability.locks import named_lock
 
 #: Kinds that raise from inside :func:`fault_point`.
 _RAISING_KINDS = ("transient", "kill")
@@ -143,7 +144,7 @@ class FaultPlan:
         self.triggered: Counter = Counter()
         # One lock per plan: check() mutates two Counters and must stay
         # consistent when the serving worker pool fires sites concurrently.
-        self._lock = threading.Lock()
+        self._lock = named_lock("reliability.faults.plan")
 
     @classmethod
     def single(cls, site: str, kind: str, at: Tuple[int, ...] = (0,),

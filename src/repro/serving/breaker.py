@@ -25,11 +25,11 @@ read) so tests can step time deterministically.
 from __future__ import annotations
 
 import dataclasses
-import threading
 from typing import Callable, Dict, Optional, TypeVar
 
 from repro.perf.profiler import wall_clock
 from repro.reliability.counters import COUNTERS
+from repro.reliability.locks import named_lock
 
 T = TypeVar("T")
 
@@ -72,7 +72,7 @@ class CircuitBreaker:
         self.name = name
         self.clock = clock
         self.stats = BreakerStats()
-        self._lock = threading.Lock()
+        self._lock = named_lock("serving.breaker")
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None

@@ -52,6 +52,7 @@ from repro.guard.firewall import DataFirewall, summarize
 from repro.perf.profiler import wall_clock
 from repro.reliability.counters import COUNTERS
 from repro.reliability.faults import fault_point
+from repro.reliability.locks import named_lock
 from repro.reliability.retry import RetryPolicy, retry_with_backoff
 from repro.serving.breaker import OPEN, CircuitBreaker, CircuitOpenError
 from repro.serving.tiers import DegradationCascade, ScoringTier
@@ -155,7 +156,7 @@ class _ServiceCounters:
     """Conservation bookkeeping, behind one lock."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = named_lock("serving.counters")
         self.submitted = 0
         self.answered = 0
         self.rejected = 0
@@ -215,7 +216,7 @@ class InferenceService:
         #: lock serializes index mutation against queries — blockers are
         #: deterministic, not thread-safe.
         self.blocker = blocker
-        self._blocker_lock = threading.Lock()
+        self._blocker_lock = named_lock("serving.blocker")
         self._queries_blocked = 0
         self._query_candidates = 0
         #: Optional data-quality firewall: request pairs are validated at
@@ -241,8 +242,8 @@ class InferenceService:
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue(
             maxsize=config.queue_capacity)
         self._workers: List[threading.Thread] = []
-        self._model_lock = threading.Lock()
-        self._submit_lock = threading.Lock()
+        self._model_lock = named_lock("serving.model")
+        self._submit_lock = named_lock("serving.submit")
         self._next_id = 0
         self._closed = False
         self._started = False
@@ -252,14 +253,17 @@ class InferenceService:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "InferenceService":
-        if self._started:
-            return self
-        self._started = True
-        for i in range(self.config.num_workers):
-            worker = threading.Thread(target=self._worker_loop,
-                                      name=f"serve-worker-{i}", daemon=True)
+        with self._submit_lock:
+            if self._started:
+                return self
+            self._started = True
+            workers = [
+                threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+                for i in range(self.config.num_workers)]
+            self._workers = workers
+        for worker in workers:
             worker.start()
-            self._workers.append(worker)
         return self
 
     def close(self) -> None:
@@ -273,12 +277,14 @@ class InferenceService:
             if self._closed:
                 return
             self._closed = True
+            workers = self._workers
         self._queue.join()
-        for _ in self._workers:
+        for _ in workers:
             self._queue.put(None)
-        for worker in self._workers:
+        for worker in workers:
             worker.join()
-        self._workers = []
+        with self._submit_lock:
+            self._workers = []
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -367,22 +373,26 @@ class InferenceService:
     def _worker_loop(self) -> None:
         while True:
             request = self._queue.get()
-            if request is None:
-                self._queue.task_done()
-                return
+            # task_done() must run even if answering raises: close() joins
+            # the queue before sending sentinels, so one swallowed
+            # task_done would leave shutdown blocked on join() forever.
             try:
-                response = self._process(request)
-            except BaseException as exc:  # the floor tier failed: answer
-                response = MatchResponse(  # explicitly, never drop silently
-                    request_id=request.id, status="error", tier=None,
-                    tier_level=None, scores=None, labels=None,
-                    degraded=True, degrade_reason="fault",
-                    latency=wall_clock() - request.admitted_at,
-                    error=f"{type(exc).__name__}: {exc}",
-                    quarantined=request.quarantined)
-            self.counters.record_answer(response)
-            request.pending._fulfill(response)
-            self._queue.task_done()
+                if request is None:
+                    return
+                try:
+                    response = self._process(request)
+                except BaseException as exc:  # the floor tier failed: answer
+                    response = MatchResponse(  # explicitly, never drop silently
+                        request_id=request.id, status="error", tier=None,
+                        tier_level=None, scores=None, labels=None,
+                        degraded=True, degrade_reason="fault",
+                        latency=wall_clock() - request.admitted_at,
+                        error=f"{type(exc).__name__}: {exc}",
+                        quarantined=request.quarantined)
+                self.counters.record_answer(response)
+                request.pending._fulfill(response)
+            finally:
+                self._queue.task_done()
 
     def _expired(self, request: _Request) -> bool:
         return request.deadline_at is not None \
@@ -498,10 +508,41 @@ class InferenceService:
 
     def stats(self) -> Dict[str, object]:
         """The health/stats endpoint: conservation counters, breaker state,
-        queue depth, and the perf layer's cache counters in one snapshot."""
+        queue depth, and the perf layer's cache counters in one snapshot.
+
+        Each subsystem's section comes from a *single* pass under that
+        subsystem's lock (snapshot methods that read every field at once),
+        taken sequentially in lock-hierarchy order and never nested — so
+        every section is internally consistent (its conservation flags
+        describe exactly the numbers beside them) and a stats poll can
+        never participate in a lock-order cycle with the worker pool.
+        """
         from repro import perf
 
-        recovery = COUNTERS.as_dict()
+        # serving.submit: lifecycle + queue.
+        with self._submit_lock:
+            closed = self._closed
+            service = {
+                "queue_capacity": self.config.queue_capacity,
+                "queue_depth": self._queue.qsize(),
+                "workers": self.config.num_workers,
+                "batch_size": self.batch_size,
+                "closed": closed,
+            }
+        # serving.blocker: online blocking tallies.
+        blocking: Optional[Dict[str, object]] = None
+        if self.blocker is not None:
+            with self._blocker_lock:
+                blocking = {
+                    "blocker": type(self.blocker).name,
+                    "indexed_records": len(self.blocker),
+                    "queries": self._queries_blocked,
+                    "candidates_emitted": self._query_candidates,
+                }
+        # serving.breaker: state + transition counters in one as_dict().
+        breaker = self.breaker.as_dict()
+        # guard.*: firewall tallies (conserved computed inside the same
+        # snapshot), quarantine histogram, drift-window state.
         firewall: Optional[Dict[str, object]] = None
         if self.firewall is not None:
             summary = summarize(self.firewall)
@@ -515,30 +556,19 @@ class InferenceService:
                 "drift": (self.firewall.monitor.stats()
                           if self.firewall.monitor is not None else None),
             }
+        # serving.counters: request conservation in one snapshot().
+        requests = self.counters.snapshot()
+        # reliability.counters: recovery tallies in one as_dict().
+        recovery = COUNTERS.as_dict()
         store_stats: Optional[Dict[str, object]] = None
         tier1 = self.cascade.tier1.matcher
         if isinstance(tier1, StoreBackedScorer):
             store_stats = tier1.stats()
-        blocking: Optional[Dict[str, object]] = None
-        if self.blocker is not None:
-            with self._blocker_lock:
-                blocking = {
-                    "blocker": type(self.blocker).name,
-                    "indexed_records": len(self.blocker),
-                    "queries": self._queries_blocked,
-                    "candidates_emitted": self._query_candidates,
-                }
         return {
-            "healthy": self.healthy(),
-            "service": {
-                "queue_capacity": self.config.queue_capacity,
-                "queue_depth": self._queue.qsize(),
-                "workers": self.config.num_workers,
-                "batch_size": self.batch_size,
-                "closed": self._closed,
-            },
-            "requests": self.counters.snapshot(),
-            "breaker": self.breaker.as_dict(),
+            "healthy": not closed and breaker["state"] != OPEN,
+            "service": service,
+            "requests": requests,
+            "breaker": breaker,
             "caches": perf.cache_stats(),
             "firewall": firewall,
             "store": store_stats,

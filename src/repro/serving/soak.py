@@ -78,10 +78,25 @@ class SoakReport:
     latency: Dict[str, Dict[str, float]]  # per tier + "all": p50/p99/mean
     faults_triggered: Dict[str, int]
     service_stats: Dict[str, object]
+    #: Lock-order sanitizer report (``REPRO_LOCKCHECK=1`` / ``--lockcheck``),
+    #: None when the sanitizer was off for this soak.
+    lockcheck: Optional[Dict[str, object]] = None
+
+    @property
+    def locks_clean(self) -> bool:
+        """No lock-order violations and no unguarded shared writes.
+
+        Vacuously true when the sanitizer was off — ``ok`` then asserts
+        exactly what it asserted before the sanitizer existed.
+        """
+        if self.lockcheck is None:
+            return True
+        return not (self.lockcheck["order_violations"]
+                    or self.lockcheck["unguarded_writes"])
 
     @property
     def ok(self) -> bool:
-        return self.conserved and self.tier1_parity
+        return self.conserved and self.tier1_parity and self.locks_clean
 
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -104,6 +119,15 @@ class SoakReport:
             fired = ", ".join(f"{key}={count}" for key, count
                               in sorted(self.faults_triggered.items()))
             lines.append(f"faults fired: {fired}")
+        if self.lockcheck is not None:
+            acquisitions = sum(self.lockcheck["acquisitions"].values())
+            lines.append(
+                f"lockcheck: {acquisitions} acquisitions over "
+                f"{len(self.lockcheck['acquisitions'])} locks, "
+                f"{len(self.lockcheck['edges'])} dynamic edges, "
+                f"{len(self.lockcheck['order_violations'])} order violations, "
+                f"{len(self.lockcheck['unguarded_writes'])} unguarded writes "
+                f"[{'clean' if self.locks_clean else 'VIOLATIONS'}]")
         return "\n".join(lines)
 
 
@@ -141,7 +165,8 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
              deadline_s: Optional[float] = None,
              seed: int = 0,
              firewall=None,
-             store=None) -> SoakReport:
+             store=None,
+             lockcheck: Optional[bool] = None) -> SoakReport:
     """Run the chaos soak and return the measured/asserted report.
 
     ``plan=None`` runs clean traffic (the latency baseline);
@@ -156,6 +181,11 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
     embedding store in front of tier 1; the offline parity reference is
     read after the service wraps the tier, so parity covers the
     store-backed path itself.
+    ``lockcheck`` turns the runtime lock-order sanitizer on for the soak
+    (per-thread order assertion + unguarded-write watches on the shared
+    classes); ``None`` defers to ``REPRO_LOCKCHECK`` / an already-active
+    checker.  The report lands in :attr:`SoakReport.lockcheck` and any
+    violation fails :attr:`SoakReport.ok`.
     """
     rng = np.random.default_rng(seed)
     pool = list(pairs)
@@ -170,6 +200,21 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
             start = int(rng.integers(0, max(len(pool) - pairs_per_request, 0) + 1))
             batches.append(tuple(pool[start:start + pairs_per_request]))
         client_batches.append(batches)
+
+    checker = None
+    owns_checker = False
+    restore_watches = None
+    if lockcheck is None or lockcheck:
+        from repro.analysis import lockcheck as lc_mod
+
+        if lockcheck is None:
+            lockcheck = lc_mod.env_requested() or lc_mod.active() is not None
+        if lockcheck:
+            checker = lc_mod.active()
+            if checker is None:
+                checker = lc_mod.enable()
+                owns_checker = True
+            restore_watches = lc_mod.install_watches()
 
     service = InferenceService(cascade, config, firewall=firewall, store=store)
     answered: List[List[Tuple[Tuple[EntityPair, ...], object]]] = \
@@ -201,6 +246,12 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
     finally:
         if plan_ctx is not None:
             plan_ctx.__exit__(None, None, None)
+        if restore_watches is not None:
+            restore_watches()
+        if owns_checker:
+            from repro.analysis import lockcheck as lc_mod
+
+            lc_mod.disable()
     duration = wall_clock() - started
 
     # -- invariants -----------------------------------------------------
@@ -253,4 +304,5 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
                  for tier, vals in sorted(latencies.items())},
         faults_triggered=faults,
         service_stats=service.stats(),
+        lockcheck=checker.report() if checker is not None else None,
     )

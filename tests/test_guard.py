@@ -234,7 +234,7 @@ class TestDataFirewall:
                     if (e := firewall.admit(uid, values)) is not None]
         snap = firewall.stats.snapshot()
         assert snap == {"offered": 5, "accepted": 2, "quarantined": 3,
-                        "replayed": 0}
+                        "replayed": 0, "conserved": True}
         assert firewall.stats.conserved
         assert [e.uid for e in accepted] == ["a1", "a5"]
         assert firewall.store.by_reason() == {REASON_ENCODING: 1,
@@ -426,6 +426,39 @@ class TestDriftScenarios:
         assert monitor.forcing              # two consecutive: forcing
         monitor.observe_pairs([_pair(0), _pair(1)])
         assert not monitor.forcing          # clean window clears
+
+    def test_out_of_order_window_results_apply_in_roll_order(self):
+        """Regression for the window-roll race: two flagged windows rolled
+        before a clean one must leave forcing *off* even when the clean
+        window's evaluation finishes first (threads publishing results in
+        completion order used to let a stale clean window clear the
+        forcing a newer flagged window had set — or vice versa)."""
+        monitor = _monitor(window=4, sustain=2)
+        # Completion order 2, 0, 1 for windows rolled in order 0, 1, 2
+        # (0 and 1 flagged, 2 clean).
+        monitor._record_window(2, ())
+        stats = monitor.stats()
+        assert stats["windows_evaluated"] == 0  # buffered: 0 not applied yet
+        monitor._record_window(0, ("input.oov",))
+        monitor._record_window(1, ("input.oov",))
+        stats = monitor.stats()
+        assert stats["windows_evaluated"] == 3
+        assert monitor.flag_count == 2
+        assert not monitor.forcing, (
+            "flagged windows 0,1 then clean window 2 must end with "
+            "forcing cleared, regardless of completion order")
+
+    def test_out_of_order_flagged_tail_keeps_forcing(self):
+        """Mirror case: clean window rolled first, flagged windows after —
+        the stale clean result must not clear forcing set by newer
+        windows."""
+        monitor = _monitor(window=4, sustain=2)
+        monitor._record_window(1, ("input.oov",))   # buffered
+        monitor._record_window(2, ("input.oov",))   # buffered
+        assert monitor.stats()["windows_evaluated"] == 0
+        monitor._record_window(0, ())               # applies 0, 1, 2 in order
+        assert monitor.stats()["windows_evaluated"] == 3
+        assert monitor.forcing, "two newest windows flagged: forcing stays"
 
 
 # ======================================================================

@@ -283,6 +283,85 @@ class TestAdmissionControl:
         assert all(h.done() for h in handles)
         assert service.counters.snapshot()["in_flight"] == 0
 
+    def test_worker_crash_after_scoring_does_not_deadlock_close(self, monkeypatch):
+        """Regression: ``task_done`` must run even when post-answer
+        bookkeeping raises, or ``close()`` blocks forever on
+        ``queue.join()`` with the request forever in flight."""
+        from repro.serving.service import _ServiceCounters
+
+        service = InferenceService(_stub_cascade(),
+                                   ServingConfig(num_workers=1)).start()
+
+        def boom(self, response):
+            raise RuntimeError("bookkeeping crash after scoring")
+
+        monkeypatch.setattr(_ServiceCounters, "record_answer", boom)
+        service.submit(PAIRS[:1])
+        closer = threading.Thread(target=service.close, name="closer")
+        closer.start()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive(), "close() deadlocked on queue.join()"
+
+
+class TestStatsSnapshotConsistency:
+    """``stats()`` under concurrent mutation: every section must be an
+    internally consistent single-pass snapshot (satellite of the
+    concurrency pack — see docs/SERVING.md)."""
+
+    def test_request_section_conserves_in_every_snapshot(self):
+        cascade = _stub_cascade(tier1_delay=0.002)
+        config = ServingConfig(queue_capacity=32, num_workers=3,
+                               retry=FAST_RETRY)
+        snapshots = []
+        stop = threading.Event()
+        with InferenceService(cascade, config) as service:
+            def poll():
+                while not stop.is_set():
+                    snapshots.append(service.stats())
+
+            poller = threading.Thread(target=poll, name="stats-poller")
+            poller.start()
+            handles = []
+            try:
+                for i in range(60):
+                    try:
+                        handles.append(service.submit(PAIRS[:2]))
+                    except ServiceOverloaded:
+                        pass
+                for handle in handles:
+                    handle.result(timeout=30.0)
+            finally:
+                stop.set()
+                poller.join(timeout=10.0)
+        assert snapshots, "poller never snapshotted"
+        for snap in snapshots:
+            requests = snap["requests"]
+            # one locked pass: the tallies beside each other must agree
+            assert requests["in_flight"] >= 0
+            assert requests["answered"] + requests["rejected"] \
+                <= requests["submitted"]
+            assert requests["conserved"] == (
+                requests["submitted"]
+                == requests["answered"] + requests["rejected"])
+            # by_tier is incremented with answered under the same lock
+            assert sum(requests["by_tier"].values()) <= requests["answered"]
+        final = service.stats()
+        assert final["requests"]["conserved"]
+        assert final["requests"]["in_flight"] == 0
+
+    def test_firewall_conserved_flag_matches_its_own_tallies(self):
+        from repro.guard import DataFirewall
+
+        firewall = DataFirewall()
+        with InferenceService(_stub_cascade(),
+                              ServingConfig(num_workers=2),
+                              firewall=firewall) as service:
+            for _ in range(4):
+                service.submit(PAIRS[:2]).result(10.0)
+            snap = service.stats()["firewall"]
+        assert snap["conserved"] == (
+            snap["accepted"] + snap["quarantined"] == snap["offered"])
+
 
 class TestDegradationCascade:
     def test_expired_deadline_falls_to_floor_with_reason(self):
