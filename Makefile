@@ -19,9 +19,11 @@ lint:
 
 # Fast tier: everything except @pytest.mark.slow, for pre-push / CI loops.
 # Runs from a clean checkout (no `make install` needed) via PYTHONPATH.
-# Ends with a live `repro serve --soak --lockcheck` smoke (concurrent
-# traffic + the standard chaos plan, asserting conservation, tier-1 parity,
-# and zero lock-order violations / unguarded shared-state writes), a fast
+# Ends with a live `repro serve --soak --lockcheck` smoke through the
+# 2-replica multi-process cluster router (concurrent traffic + the router
+# and replica chaos plans, asserting conservation, tier-1 parity across
+# batch coalescing, and zero lock-order violations / unguarded
+# shared-state writes), a fast
 # firewall fuzz smoke (corrupted bytes through ingestion + serving,
 # asserting no crash and record conservation), and an embedding-store
 # smoke: build a tiny shard set, score the test split from it, and assert
@@ -31,7 +33,7 @@ lint:
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro serve --dataset Beer --fast --soak \
-		--lockcheck --clients 3 --requests 4 --pairs 6 --workers 3 --capacity 8
+		--lockcheck --replicas 2 --clients 3 --requests 4 --pairs 6 --capacity 8
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_guard_fuzz.py -q -k smoke
 	rm -rf .repro-ci-store
 	PYTHONPATH=src $(PYTHON) -m repro embed --dataset Beer --fast \
@@ -63,7 +65,8 @@ bench:
 bench-perf:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_perf.py --store
 
-# Serving-layer soak benchmark: clean/chaos/pressure, writes BENCH_serve.json.
+# Serving-layer soak benchmark: clean/chaos/pressure soaks plus the
+# 1/2/4-replica cluster scaling curve, writes BENCH_serve.json.
 bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_serve.py
 

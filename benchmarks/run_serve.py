@@ -11,6 +11,15 @@ Three soaks over the same trained cascade (Beer, HierGAT tier 1):
   tight deadline, so the cascade degrades and the per-tier latency spread
   (full vs features vs tfidf) becomes visible.
 
+Then a **replica scaling curve**: a many-small-requests workload (the
+scenario cross-request batch coalescing targets) through the
+multi-process cluster router (``ClusterService``) at 1, 2, and 4
+replicas, each replica serving tier 1 from a shared read-only mmap
+embedding store, reported as speedup over a single-process clean run
+of the *same* workload.  On a single-core host the gain comes from
+fused tier-1 forwards and the offline store, not CPU parallelism;
+every point still asserts conservation and bitwise tier-1 parity.
+
 Usage:
     python benchmarks/run_serve.py             # CI scale (the acceptance run)
     python benchmarks/run_serve.py --bench     # the larger benchmark scale
@@ -86,6 +95,49 @@ def main() -> int:
         # (possibly empty) set of responses tier 1 actually produced.
         all_ok = all_ok and report.ok
 
+    import tempfile
+
+    from repro.serving import ClusterConfig, pad_width_for, run_cluster_soak
+    from repro.store import build_store
+
+    # Many small requests: 8 clients x 32 requests x 4 pairs.  Coalescing
+    # fuses ~8 such requests into each 32-pair tier-1 forward, which is
+    # where the cluster's amortization over the single-process
+    # one-forward-per-request path comes from.
+    sc_clients, sc_requests, sc_pairs = 8, 32, 4
+    pool = list(dataset.split.test)
+    pad = pad_width_for(matcher, pool)
+    store_dir = tempfile.mkdtemp(prefix="bench-serve-store-")
+    build_store(store_dir, matcher,
+                [e for p in pool for e in (p.left, p.right)],
+                dtype="float32")
+    print("running single-process baseline for the scaling curve ...",
+          flush=True)
+    scaling_base = run_soak(
+        cascade, pool,
+        config=ServingConfig(queue_capacity=512, num_workers=4),
+        n_clients=sc_clients, requests_per_client=sc_requests,
+        pairs_per_request=sc_pairs, seed=0)
+    print(f"  baseline: {scaling_base.throughput:.1f} req/s")
+    all_ok = all_ok and scaling_base.ok
+    scaling = {}
+    for replicas in (1, 2, 4):
+        print(f"running cluster soak at {replicas} replica(s) ...", flush=True)
+        report = run_cluster_soak(
+            cascade, pool,
+            config=ClusterConfig(replicas=replicas, queue_capacity=512,
+                                 coalesce_window=0.01, coalesce_pairs=32,
+                                 pad_width=pad),
+            n_clients=sc_clients, requests_per_client=sc_requests,
+            pairs_per_request=sc_pairs, seed=0, store_path=store_dir)
+        fused = report.service_stats["coalesce"]["fused_batches"]
+        print(f"  replicas={replicas}: {report.throughput:.1f} req/s "
+              f"({report.throughput / scaling_base.throughput:.2f}x, "
+              f"{fused} fused batches, "
+              f"parity={'ok' if report.tier1_parity else 'BROKEN'})")
+        scaling[replicas] = report
+        all_ok = all_ok and report.ok
+
     recovery = COUNTERS.as_dict()
     payload = {
         "experiment": "serving-layer soak (clean / chaos / pressure)",
@@ -102,9 +154,35 @@ def main() -> int:
                    for tier, stats in report.latency.items() if stats["count"]}
             for name, report in results.items()},
         "recovery_counters": {k: v for k, v in recovery.items() if v},
+        "replica_scaling": {
+            "workload": {"clients": sc_clients,
+                         "requests_per_client": sc_requests,
+                         "pairs_per_request": sc_pairs},
+            "baseline_req_s": round(scaling_base.throughput, 2),
+            "pad_width": pad,
+            "coalesce_pairs": 32,
+            "store_dtype": "float32",
+            "curve": {
+                str(n): {
+                    "throughput_req_s": round(r.throughput, 2),
+                    "speedup_vs_single_process": (
+                        round(r.throughput / scaling_base.throughput, 2)
+                        if scaling_base.throughput else None),
+                    "fused_batches":
+                        r.service_stats["coalesce"]["fused_batches"],
+                    "fused_pairs":
+                        r.service_stats["coalesce"]["fused_pairs"],
+                    "conserved": r.conserved,
+                    "tier1_parity": r.tier1_parity,
+                } for n, r in scaling.items()},
+        },
         "invariants": {
-            "conserved": all(r.conserved for r in results.values()),
-            "tier1_parity": all(r.tier1_parity for r in results.values()),
+            "conserved": all(r.conserved for r in results.values())
+            and scaling_base.conserved
+            and all(r.conserved for r in scaling.values()),
+            "tier1_parity": all(r.tier1_parity for r in results.values())
+            and scaling_base.tier1_parity
+            and all(r.tier1_parity for r in scaling.values()),
         },
         "notes": [
             "clean = no faults (latency baseline)",
@@ -113,6 +191,13 @@ def main() -> int:
             "the cascade down to the feature/tfidf tiers",
             "conservation (answered + rejected == submitted) and bitwise "
             "tier-1 parity are asserted on every soak",
+            "replica_scaling drives a many-small-requests workload "
+            "through the multi-process cluster router (replicas serve "
+            "tier 1 from a shared read-only float32 mmap store) and "
+            "through the single-process service, same workload and "
+            "seed; on a single-core host the speedup comes from fused "
+            "cross-request tier-1 forwards and the offline store, not "
+            "CPU parallelism",
         ],
     }
     OUTPUT.write_text(json.dumps(payload, indent=2, default=str) + "\n",

@@ -301,6 +301,7 @@ def install_watches() -> Callable[[], None]:
     from repro.guard.firewall import FirewallStats
     from repro.reliability.counters import RecoveryCounters
     from repro.serving.breaker import BreakerStats, CircuitBreaker
+    from repro.serving.cluster import ClusterService
     from repro.serving.service import InferenceService, _ServiceCounters
 
     uninstallers = [
@@ -330,8 +331,29 @@ def install_watches() -> Callable[[], None]:
         watch_attributes(InferenceService, {
             "_closed": "serving.submit", "_started": "serving.submit",
             "_workers": "serving.submit", "_next_id": "serving.submit",
+            "_drained": "serving.submit",
             "_queries_blocked": "serving.blocker",
             "_query_candidates": "serving.blocker"}),
+        watch_attributes(ClusterService, {
+            "_closed": "serving.cluster.submit",
+            "_started": "serving.cluster.submit",
+            "_drained": "serving.cluster.submit",
+            "_threads": "serving.cluster.submit",
+            "_next_request_id": "serving.cluster.submit",
+            "_records": "serving.cluster.records",
+            "_pending": "serving.cluster.coalesce",
+            "_pending_pairs": "serving.cluster.coalesce",
+            "_oldest_pending": "serving.cluster.coalesce",
+            "_flushes": "serving.cluster.coalesce",
+            "_fused_batches": "serving.cluster.coalesce",
+            "_fused_pairs": "serving.cluster.coalesce",
+            "_solo_batches": "serving.cluster.coalesce",
+            "_next_batch_id": "serving.cluster.replicas",
+            "_next_query_id": "serving.cluster.replicas",
+            "_stale_results": "serving.cluster.replicas",
+            "_replica_errors": "serving.cluster.replicas",
+            "_dispatch_faults": "serving.cluster.replicas",
+            "_query_shard_misses": "serving.cluster.replicas"}),
     ]
 
     def uninstall():

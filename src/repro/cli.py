@@ -267,7 +267,12 @@ def cmd_serve(args) -> int:
     Without ``--soak`` this is a clean-traffic run (the latency baseline);
     with ``--soak`` the standard chaos plan injects transient faults, cache
     poisonings, and stalls while the harness asserts conservation and
-    tier-1 bitwise parity.  Exit status 1 if either invariant fails.
+    tier-1 bitwise parity.  ``--replicas N`` swaps the single-process
+    service for the multi-process cluster router (N replica processes,
+    cross-request batch coalescing, sharded blocking); ``--soak`` then
+    also injects replica-side faults, and ``--kill-replica`` SIGKILLs a
+    replica mid-soak to exercise failover + respawn.  Exit status 1 if
+    any invariant fails.
     """
     _apply_scale(args)
     import json as _json
@@ -307,24 +312,47 @@ def cmd_serve(args) -> int:
             store = build_store(args.store, matcher, entities,
                                 dtype=args.store_dtype)
 
-    config = ServingConfig(queue_capacity=args.capacity,
-                           num_workers=args.workers,
-                           default_deadline=args.deadline)
-    plan = default_chaos_plan() if args.soak else None
-    report = run_soak(
-        cascade, dataset.split.test, config=config, plan=plan,
-        n_clients=args.clients, requests_per_client=args.requests,
-        pairs_per_request=args.pairs, deadline_s=args.deadline,
-        seed=args.seed, store=store,
-        lockcheck=True if args.lockcheck else None)
+    if args.replicas:
+        from repro.serving import (
+            ClusterConfig, ReplicaKill, default_cluster_chaos_plan,
+            default_replica_fault_specs, run_cluster_soak,
+        )
+
+        cluster_config = ClusterConfig(
+            replicas=args.replicas,
+            queue_capacity=args.capacity,
+            default_deadline=args.deadline,
+            replica_faults=(default_replica_fault_specs()
+                            if args.soak else ()))
+        report = run_cluster_soak(
+            cascade, dataset.split.test, config=cluster_config,
+            plan=default_cluster_chaos_plan() if args.soak else None,
+            n_clients=args.clients, requests_per_client=args.requests,
+            pairs_per_request=args.pairs, deadline_s=args.deadline,
+            seed=args.seed, store_path=args.store,
+            kill=ReplicaKill() if args.kill_replica else None,
+            lockcheck=True if args.lockcheck else None)
+    else:
+        config = ServingConfig(queue_capacity=args.capacity,
+                               num_workers=args.workers,
+                               default_deadline=args.deadline)
+        plan = default_chaos_plan() if args.soak else None
+        report = run_soak(
+            cascade, dataset.split.test, config=config, plan=plan,
+            n_clients=args.clients, requests_per_client=args.requests,
+            pairs_per_request=args.pairs, deadline_s=args.deadline,
+            seed=args.seed, store=store,
+            lockcheck=True if args.lockcheck else None)
 
     if args.json:
         print(_json.dumps(report.as_dict(), indent=2, default=str))
     else:
         print(report.summary())
-        breaker = report.service_stats["breaker"]
-        print(f"breaker: state={breaker['state']} opened={breaker['opened']} "
-              f"short_circuits={breaker['short_circuits']}")
+        breaker = report.service_stats.get("breaker")
+        if breaker is not None:
+            print(f"breaker: state={breaker['state']} "
+                  f"opened={breaker['opened']} "
+                  f"short_circuits={breaker['short_circuits']}")
         store_stats = report.service_stats.get("store")
         if store_stats:
             counts = store_stats["store"]
@@ -577,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject the standard chaos plan and assert "
                             "conservation + tier-1 parity")
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="run the multi-process cluster router with N "
+                            "replica processes (0 = single-process service)")
+    serve.add_argument("--kill-replica", action="store_true",
+                       help="SIGKILL one replica mid-soak (cluster mode) to "
+                            "exercise failover, redispatch, and respawn")
     serve.add_argument("--capacity", type=int, default=32,
                        help="bounded request-queue size (admission control)")
     serve.add_argument("--deadline", type=float, default=None,

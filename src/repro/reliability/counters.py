@@ -67,6 +67,13 @@ class RecoveryCounters:
     #: ANN blocking indexes rebuilt from retained records after a
     #: signature-row checksum mismatch (corrupt index detected at query).
     blocking_index_rebuilds: int = 0
+    #: Cluster replica processes detected dead or wedged by the supervisor.
+    replica_crashes: int = 0
+    #: Cluster replica processes respawned with their index shard rebuilt.
+    replica_respawns: int = 0
+    #: In-flight request batches failed over from a lost replica to a
+    #: surviving one (or to the local tier-2/3 cascade).
+    requests_redispatched: int = 0
 
     def __post_init__(self):
         # Not a dataclass field: asdict()/fields() must never see the lock.

@@ -86,6 +86,8 @@ KNOWN_SITES: Dict[str, str] = {
     "guard.validate": "firewall record validation (guard/firewall.py)",
     "guard.drift": "drift-monitor window evaluation (guard/drift.py)",
     "blocking.index": "ANN blocking index query integrity (blocking/ann.py)",
+    "serving.replica": "replica-process tier-1 scoring (serving/cluster.py)",
+    "serving.dispatch": "router batch dispatch to a replica (serving/cluster.py)",
 }
 
 

@@ -40,6 +40,10 @@ from typing import Dict, Optional
 #: keep the two in sync (R008 parses this dict).
 LOCK_HIERARCHY: Dict[str, int] = {
     "serving.submit": 10,        # admission/lifecycle (InferenceService)
+    "serving.cluster.submit": 12,    # cluster admission/lifecycle (ClusterService)
+    "serving.cluster.records": 14,   # retained records + sharded index map
+    "serving.cluster.coalesce": 16,  # cross-request batch coalescing buffer
+    "serving.cluster.replicas": 18,  # replica table: procs, beats, in-flight
     "serving.blocker": 20,       # online blocking index mutation/query
     "serving.model": 30,         # tier-1 scoring serialization
     "serving.breaker": 40,       # circuit-breaker state machine

@@ -1,8 +1,12 @@
 """Online serving layer: admission control, deadlines, circuit breakers,
-and a three-tier degradation cascade over any trained matcher.
+and a three-tier degradation cascade over any trained matcher — either in
+one process (:class:`InferenceService`) or as a crash-tolerant
+router/replica cluster with cross-request batch coalescing and a
+consistent-hash-sharded blocking index (:class:`ClusterService`).
 
-Stdlib-threading only; see ``docs/SERVING.md`` for the architecture and
-``repro serve`` / ``benchmarks/run_serve.py`` for the entry points.
+Stdlib threading + multiprocessing only; see ``docs/SERVING.md`` for the
+architecture and ``repro serve`` / ``benchmarks/run_serve.py`` for the
+entry points.
 """
 
 from repro.serving.breaker import (
@@ -13,6 +17,13 @@ from repro.serving.breaker import (
     CircuitBreaker,
     CircuitOpenError,
 )
+from repro.serving.cluster import (
+    MAX_PAD_WIDTH,
+    ClusterConfig,
+    ClusterService,
+    ConsistentHashRing,
+    pad_width_for,
+)
 from repro.serving.service import (
     InferenceService,
     MatchResponse,
@@ -21,7 +32,16 @@ from repro.serving.service import (
     ServiceOverloaded,
     ServingConfig,
 )
-from repro.serving.soak import SoakReport, default_chaos_plan, run_soak
+from repro.serving.soak import (
+    ClusterSoakReport,
+    ReplicaKill,
+    SoakReport,
+    default_chaos_plan,
+    default_cluster_chaos_plan,
+    default_replica_fault_specs,
+    run_cluster_soak,
+    run_soak,
+)
 from repro.serving.tiers import (
     TIER_FEATURES,
     TIER_FULL,
@@ -37,12 +57,18 @@ __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
     "CLOSED",
+    "ClusterConfig",
+    "ClusterService",
+    "ClusterSoakReport",
+    "ConsistentHashRing",
     "DegradationCascade",
     "HALF_OPEN",
     "InferenceService",
     "MatchResponse",
+    "MAX_PAD_WIDTH",
     "OPEN",
     "PendingResponse",
+    "ReplicaKill",
     "ScoringTier",
     "ServiceClosed",
     "ServiceOverloaded",
@@ -54,5 +80,9 @@ __all__ = [
     "TfidfMatcher",
     "build_cascade",
     "default_chaos_plan",
+    "default_cluster_chaos_plan",
+    "default_replica_fault_specs",
+    "pad_width_for",
+    "run_cluster_soak",
     "run_soak",
 ]

@@ -117,6 +117,10 @@ class MatchResponse:
     #: Records of this request the firewall quarantined at submit; scores
     #: cover only the surviving pairs.
     quarantined: int = 0
+    #: True when part of this request was failed over to another replica
+    #: after its original owner died (cluster serving only; see
+    #: serving/cluster.py).
+    redispatched: bool = False
 
 
 class PendingResponse:
@@ -247,6 +251,7 @@ class InferenceService:
         self._next_id = 0
         self._closed = False
         self._started = False
+        self._drained = False
         matcher = cascade.tier1.matcher
         scale = getattr(matcher, "scale", None)
         self.batch_size = config.batch_size or getattr(scale, "batch_size", 32)
@@ -285,6 +290,10 @@ class InferenceService:
             worker.join()
         with self._submit_lock:
             self._workers = []
+            # A close that reaches this point answered everything it
+            # admitted: stats() reports it as gracefully drained, not
+            # unhealthy (see the "healthy" computation there).
+            self._drained = True
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -503,8 +512,11 @@ class InferenceService:
 
     # -- observability --------------------------------------------------
     def healthy(self) -> bool:
-        """Liveness summary: admitting requests and the breaker is not open."""
-        return not self._closed and self.breaker.state != OPEN
+        """Health summary: serving with the breaker not open — or *gracefully
+        closed*, i.e. shut down after answering everything it admitted.
+        Only crash states (open breaker while serving, or a close that lost
+        requests) read unhealthy."""
+        return bool(self.stats()["healthy"])
 
     def stats(self) -> Dict[str, object]:
         """The health/stats endpoint: conservation counters, breaker state,
@@ -522,6 +534,7 @@ class InferenceService:
         # serving.submit: lifecycle + queue.
         with self._submit_lock:
             closed = self._closed
+            drained = self._drained
             service = {
                 "queue_capacity": self.config.queue_capacity,
                 "queue_depth": self._queue.qsize(),
@@ -565,7 +578,13 @@ class InferenceService:
         if isinstance(tier1, StoreBackedScorer):
             store_stats = tier1.stats()
         return {
-            "healthy": not closed and breaker["state"] != OPEN,
+            # A gracefully-closed service stays healthy: closed is a state,
+            # not a failure.  Unhealthy means an open breaker while serving
+            # or a shutdown that lost requests (conservation broken).
+            "healthy": ((not closed and breaker["state"] != OPEN)
+                        or (closed and drained
+                            and bool(requests["conserved"]))),
+            "state": "closed" if closed else "running",
             "service": service,
             "requests": requests,
             "breaker": breaker,

@@ -24,7 +24,10 @@ same pair batches in the same per-client order.
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +35,7 @@ import numpy as np
 from repro.data.schema import EntityPair
 from repro.perf.profiler import wall_clock
 from repro.reliability.faults import FaultPlan, FaultSpec, inject
+from repro.serving.cluster import ClusterConfig, ClusterService
 from repro.serving.service import (
     InferenceService,
     MatchResponse,
@@ -305,4 +309,276 @@ def run_soak(cascade: DegradationCascade, pairs: Sequence[EntityPair],
         faults_triggered=faults,
         service_stats=service.stats(),
         lockcheck=checker.report() if checker is not None else None,
+    )
+
+
+# ======================================================================
+# Cluster soak: the multi-process variant, including kill -9 chaos
+# ======================================================================
+def default_cluster_chaos_plan(transient_period: int = 9,
+                               stall_period: int = 13) -> FaultPlan:
+    """Router-side fault mix for the cluster soak (``serving.dispatch``)."""
+    return FaultPlan((
+        FaultSpec(site="serving.dispatch", kind="transient",
+                  at=tuple(range(2, 1_000_000, transient_period))),
+        FaultSpec(site="serving.dispatch", kind="stall",
+                  at=tuple(range(5, 1_000_000, stall_period))),
+    ))
+
+
+def default_replica_fault_specs(transient_period: int = 7,
+                                stall_period: int = 11,
+                                corrupt_at: Tuple[int, ...] = (4,),
+                                ) -> Tuple[FaultSpec, ...]:
+    """Per-replica fault specs (``serving.replica``), shipped over the
+    spawn boundary so each replica process builds its own deterministic
+    plan: transients absorbed by the in-replica retry, stalls slowing the
+    fused forward, and a corrupt response the router-side validation must
+    catch and fail over."""
+    return (
+        FaultSpec(site="serving.replica", kind="transient",
+                  at=tuple(range(1, 1_000_000, transient_period))),
+        FaultSpec(site="serving.replica", kind="stall",
+                  at=tuple(range(3, 1_000_000, stall_period))),
+        FaultSpec(site="serving.replica", kind="corrupt", at=corrupt_at),
+    )
+
+
+@dataclasses.dataclass
+class ReplicaKill:
+    """Chaos directive: SIGKILL one replica process mid-soak.
+
+    The killer thread waits until ``after_answered`` requests have been
+    answered (so the cluster is demonstrably mid-flight), then sends
+    ``sig`` to the current incarnation of replica ``replica_id``.
+    """
+
+    replica_id: int = 0
+    after_answered: int = 4
+    sig: int = signal.SIGKILL
+
+
+@dataclasses.dataclass
+class ClusterSoakReport(SoakReport):
+    """:class:`SoakReport` plus the cluster-only evidence: replica table,
+    redispatch parity coverage, and what the killer thread did."""
+
+    #: Responses stamped ``redispatched`` (work failed over from a lost
+    #: replica); the subset that still answered at tier 1 is also counted
+    #: in ``redispatch_parity_checked`` — those were compared bitwise.
+    redispatched_responses: int = 0
+    redispatch_parity_checked: int = 0
+    kill: Optional[Dict[str, object]] = None
+
+    def summary(self) -> str:
+        lines = [super().summary()]
+        stats = self.service_stats
+        replica_table = stats.get("replica_table", {})
+        incarnations = {rid: info["incarnation"]
+                        for rid, info in sorted(replica_table.items())}
+        recovery = stats.get("recovery", {})
+        lines.append(
+            f"replicas: {len(replica_table)} "
+            f"(incarnations {incarnations}), "
+            f"crashes={recovery.get('replica_crashes', 0)} "
+            f"respawns={recovery.get('replica_respawns', 0)} "
+            f"redispatched={recovery.get('requests_redispatched', 0)}")
+        coalesce = stats.get("coalesce", {})
+        lines.append(
+            f"coalescing: {coalesce.get('fused_batches', 0)} fused batches "
+            f"({coalesce.get('fused_pairs', 0)} pairs) + "
+            f"{coalesce.get('solo_batches', 0)} solo, "
+            f"pad_width={coalesce.get('pad_width', 0)}")
+        if self.redispatched_responses:
+            lines.append(
+                f"redispatched responses: {self.redispatched_responses} "
+                f"({self.redispatch_parity_checked} tier-1, bitwise-checked)")
+        if self.kill is not None:
+            lines.append(
+                f"killed replica {self.kill['replica_id']} "
+                f"(pid {self.kill['pid']}) after "
+                f"{self.kill['at_answered']} answers")
+        return "\n".join(lines)
+
+
+def _killer(service: ClusterService, kill: ReplicaKill,
+            outcome: Dict[str, object]) -> None:
+    """Kill thread body: wait for mid-flight traffic, then SIGKILL."""
+    deadline = wall_clock() + 60.0
+    while wall_clock() < deadline:
+        if service.counters.snapshot()["answered"] >= kill.after_answered:
+            break
+        time.sleep(0.002)
+    pid = service.replica_pid(kill.replica_id)
+    if pid is not None:
+        outcome["replica_id"] = kill.replica_id
+        outcome["pid"] = pid
+        outcome["at_answered"] = service.counters.snapshot()["answered"]
+        os.kill(pid, kill.sig)
+
+
+def run_cluster_soak(cascade: DegradationCascade,
+                     pairs: Sequence[EntityPair],
+                     config: Optional[ClusterConfig] = None,
+                     plan: Optional[FaultPlan] = None,
+                     n_clients: int = 4, requests_per_client: int = 8,
+                     pairs_per_request: int = 8,
+                     deadline_s: Optional[float] = None,
+                     seed: int = 0,
+                     kill: Optional[ReplicaKill] = None,
+                     blocker_factory=None,
+                     store_path: Optional[str] = None,
+                     lockcheck: Optional[bool] = None) -> ClusterSoakReport:
+    """The chaos soak against a :class:`ClusterService`.
+
+    Same invariants as :func:`run_soak` — conservation and bitwise tier-1
+    parity (the offline reference is the cluster's own wrapped tier-1
+    scorer, so parity covers the fixed-pad coalescing path itself) — plus
+    the cluster-only ones the report carries: redispatched responses are
+    parity-checked like any other, and ``kill`` SIGKILLs a replica
+    mid-soak to prove conservation and parity hold *across a crash*.
+
+    The clock starts after every replica reports ready, so throughput
+    measures steady-state serving rather than process spawn + model
+    unpickling.
+    """
+    rng = np.random.default_rng(seed)
+    pool = list(pairs)
+    if not pool:
+        raise ValueError("cannot soak with an empty pair pool")
+    config = config or ClusterConfig()
+
+    client_batches: List[List[Tuple[EntityPair, ...]]] = []
+    for _ in range(n_clients):
+        batches = []
+        for _ in range(requests_per_client):
+            start = int(rng.integers(0, max(len(pool) - pairs_per_request, 0) + 1))
+            batches.append(tuple(pool[start:start + pairs_per_request]))
+        client_batches.append(batches)
+
+    checker = None
+    owns_checker = False
+    restore_watches = None
+    if lockcheck is None or lockcheck:
+        from repro.analysis import lockcheck as lc_mod
+
+        if lockcheck is None:
+            lockcheck = lc_mod.env_requested() or lc_mod.active() is not None
+        if lockcheck:
+            checker = lc_mod.active()
+            if checker is None:
+                checker = lc_mod.enable()
+                owns_checker = True
+            restore_watches = lc_mod.install_watches()
+
+    service = ClusterService(cascade, config,
+                             blocker_factory=blocker_factory,
+                             store_path=store_path)
+    answered: List[List[Tuple[Tuple[EntityPair, ...], object]]] = \
+        [[] for _ in range(n_clients)]
+    rejections: List[List[int]] = [[] for _ in range(n_clients)]
+    kill_outcome: Dict[str, object] = {}
+
+    plan_ctx = inject(plan) if plan is not None else None
+    try:
+        if plan_ctx is not None:
+            plan_ctx.__enter__()
+        with service:
+            service.wait_ready()
+            started = wall_clock()
+            threads = [
+                threading.Thread(
+                    target=_client,
+                    args=(service, client_batches[i], deadline_s,
+                          answered[i], rejections[i]),
+                    name=f"soak-client-{i}")
+                for i in range(n_clients)
+            ]
+            if kill is not None:
+                threads.append(threading.Thread(
+                    target=_killer, args=(service, kill, kill_outcome),
+                    name="soak-killer"))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            responses: List[Tuple[Tuple[EntityPair, ...], MatchResponse]] = []
+            for client_out in answered:
+                for batch, pending in client_out:
+                    responses.append((batch, pending.result(timeout=120.0)))
+            duration = wall_clock() - started
+    finally:
+        if plan_ctx is not None:
+            plan_ctx.__exit__(None, None, None)
+        if restore_watches is not None:
+            restore_watches()
+        if owns_checker:
+            from repro.analysis import lockcheck as lc_mod
+
+            lc_mod.disable()
+
+    # -- invariants -----------------------------------------------------
+    n_rejected = sum(len(r) for r in rejections)
+    n_submitted = n_rejected + len(responses)
+    snapshot = service.counters.snapshot()
+    conserved = (
+        snapshot["conserved"]
+        and snapshot["submitted"] == n_submitted
+        and snapshot["answered"] == len(responses)
+        and snapshot["rejected"] == n_rejected
+    )
+
+    parity = True
+    parity_checked = 0
+    redispatched = 0
+    redispatch_checked = 0
+    offline = cascade.tier1.matcher
+    for batch, response in responses:
+        if response.redispatched:
+            redispatched += 1
+        if response.tier_level != 1:
+            continue
+        parity_checked += 1
+        if response.redispatched:
+            redispatch_checked += 1
+        reference = offline.scores(list(batch))
+        if not np.array_equal(response.scores, reference):
+            parity = False
+
+    # -- metrics --------------------------------------------------------
+    by_tier: Dict[str, int] = {}
+    latencies: Dict[str, List[float]] = {"all": []}
+    for _, response in responses:
+        tier = response.tier or "error"
+        by_tier[tier] = by_tier.get(tier, 0) + 1
+        latencies.setdefault(tier, []).append(response.latency)
+        latencies["all"].append(response.latency)
+
+    stats = service.stats()
+    faults: Dict[str, int] = {}
+    if plan is not None:
+        faults = {f"{site}:{kind}": count
+                  for (site, kind), count in sorted(plan.triggered.items())}
+    for info in stats["replica_table"].values():
+        for key, count in info["faults_fired"].items():
+            faults[key] = faults.get(key, 0) + count
+
+    return ClusterSoakReport(
+        duration=duration,
+        submitted=n_submitted,
+        answered=len(responses),
+        rejected=n_rejected,
+        conserved=bool(conserved),
+        tier1_parity=parity,
+        parity_checked=parity_checked,
+        by_tier=by_tier,
+        throughput=len(responses) / duration if duration > 0 else 0.0,
+        latency={tier: _latency_stats(vals)
+                 for tier, vals in sorted(latencies.items())},
+        faults_triggered=faults,
+        service_stats=stats,
+        lockcheck=checker.report() if checker is not None else None,
+        redispatched_responses=redispatched,
+        redispatch_parity_checked=redispatch_checked,
+        kill=kill_outcome or None,
     )

@@ -43,10 +43,24 @@ class StoreBackedScorer(Matcher):
     name = "HierGAT(store)"
 
     def __init__(self, matcher, store: Optional[EmbeddingStore] = None,
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None, pad_width: int = 0):
         self.matcher = matcher
         self.store = store
         self.batch_size = batch_size
+        #: Minimum padded token width of every forward chunk.  0 keeps the
+        #: legacy behaviour (pad to the chunk's own maximum block length).
+        #: A fixed positive width makes per-pair scores *bitwise independent
+        #: of batch composition*: every chunk whose blocks fit inside
+        #: ``pad_width`` runs the head at the same padded width, AND the
+        #: chunk itself is padded to a full ``batch_size`` pairs (by
+        #: repeating the last pair; the surplus rows are sliced off), so
+        #: every forward has one fixed shape.  Fixing the token width alone
+        #: is not enough: BLAS kernels pick blocking strategies by matrix
+        #: size, so the same logical row can differ in its last ulp between
+        #: a 3-pair and a 6-pair batch (observable at float64).  The serving
+        #: cluster's cross-request batch coalescing relies on this for
+        #: tier-1 parity (see serving/cluster.py).
+        self.pad_width = pad_width
         #: Records encoded live because the store could not serve them.
         self.live_fallbacks = 0
 
@@ -74,8 +88,11 @@ class StoreBackedScorer(Matcher):
         with no_grad():
             for start in range(0, len(pairs), batch_size):
                 chunk = list(pairs[start:start + batch_size])
+                real = len(chunk)
+                if self.pad_width and real < batch_size:
+                    chunk.extend([chunk[-1]] * (batch_size - real))
                 logits = self._forward_chunk(network, chunk)
-                probs = F.softmax(logits, axis=-1).data[:, 1]
+                probs = F.softmax(logits, axis=-1).data[:real, 1]
                 out.extend(float(p) for p in probs)
         return np.asarray(out)
 
@@ -110,6 +127,7 @@ class StoreBackedScorer(Matcher):
                     for records in sides
                     for record in records
                     for block in record.wpc)
+        width = max(width, self.pad_width)
         total = 2 * k_slots * batch
         wpc = np.zeros((total, width, network.dim), dtype=np.float32)
         mask = np.zeros((total, width), dtype=bool)

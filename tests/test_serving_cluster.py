@@ -1,0 +1,416 @@
+"""Cluster-serving suite: router/replica processes, coalescing, crashes.
+
+Covers the contracts documented in ``docs/SERVING.md``:
+
+* **conservation across a crash** — every submitted request is answered
+  or explicitly rejected even when a replica process is SIGKILLed (or an
+  injected ``kill`` at the "serving.replica" site makes it exit)
+  mid-soak; nothing is lost, nothing is double-answered;
+* **coalesced tier-1 parity** — cross-request fused batches score
+  bitwise-identical to the offline single-request reference, because the
+  store-backed scorer pads every forward to one fixed width;
+* **failover + respawn** — in-flight batches of a dead replica are
+  re-dispatched to a survivor (responses stamped ``redispatched``), the
+  replica is respawned with its consistent-hash shard rebuilt from the
+  router's retained records, and the counters
+  (``replica_crashes``/``replica_respawns``/``requests_redispatched``)
+  record each step;
+* **sharded online blocking** — ``index_record`` routes records by the
+  ring, ``submit_query`` merges live shards deterministically, and a
+  rebuilt shard answers queries again after the crash.
+
+Everything cross-process in this file must be picklable and importable
+from a spawned child, so the stand-ins live at module level.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import Scale, set_scale
+from repro.data.schema import Entity, EntityPair
+from repro.matchers.base import Matcher
+from repro.reliability import COUNTERS, FaultSpec
+from repro.serving import (
+    ClusterConfig,
+    ClusterService,
+    ConsistentHashRing,
+    InferenceService,
+    MAX_PAD_WIDTH,
+    ReplicaKill,
+    ServingConfig,
+    build_cascade,
+    default_cluster_chaos_plan,
+    default_replica_fault_specs,
+    pad_width_for,
+    run_cluster_soak,
+)
+from repro.serving.cluster import pair_width
+from repro.serving.tiers import DegradationCascade, ScoringTier
+
+
+# ======================================================================
+# Picklable deterministic stand-ins (spawned replicas import this module)
+# ======================================================================
+class HashMatcher(Matcher):
+    """Deterministic per-pair score from the uid pair alone.
+
+    Batch-composition invariant *by construction* (each score depends
+    only on its own pair), which is exactly the property coalescing
+    needs — and every pair gets a distinct value, so a misrouted or
+    misaligned score shows up as a parity break, not a coincidence.
+    """
+
+    name = "hash"
+
+    def __init__(self, salt: str = ""):
+        self.salt = salt
+        self.threshold = 0.5
+        self.scale = None
+
+    def fit(self, dataset):
+        return self
+
+    def scores(self, pairs):
+        out = []
+        for pair in pairs:
+            digest = hashlib.blake2b(
+                f"{self.salt}|{pair.left.uid}|{pair.right.uid}".encode(),
+                digest_size=4).digest()
+            out.append(int.from_bytes(digest, "big") / 2 ** 32)
+        return np.asarray(out, dtype=np.float64)
+
+    def predict(self, pairs):
+        return (self.scores(pairs) >= self.threshold).astype(np.int64)
+
+
+class AllPairsBlocker:
+    """Tiny shard blocker: every indexed record is a candidate.
+
+    Duck-types the :class:`~repro.blocking.base.Blocker` surface the
+    cluster uses (``fit``/``add``/``candidates``/``records``/``len``);
+    exhaustive so shard-merge and rebuild assertions are exact.
+    """
+
+    name = "all-pairs"
+
+    def __init__(self):
+        self._records = []
+
+    def fit(self, table):
+        self._records = list(table)
+        return self
+
+    def add(self, record):
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def candidates(self, record, k=16):
+        return [i for i, other in enumerate(self._records)
+                if other.uid != record.uid][:k]
+
+    @property
+    def records(self):
+        return self._records
+
+    def __len__(self):
+        return len(self._records)
+
+
+def _ent(i: int) -> Entity:
+    return Entity.from_dict(f"e{i}", {"name": f"item {i}", "v": str(i)})
+
+
+def _pair(i: int) -> EntityPair:
+    return EntityPair(left=_ent(i), right=_ent(10_000 + i), label=0)
+
+
+PAIRS = tuple(_pair(i) for i in range(64))
+
+
+def _stub_cascade() -> DegradationCascade:
+    """Three hash tiers with distinct salts: the producing tier is
+    visible in the score values themselves."""
+    return DegradationCascade(tiers=[
+        ScoringTier(name="full", level=1, matcher=HashMatcher("t1")),
+        ScoringTier(name="features", level=2, matcher=HashMatcher("t2")),
+        ScoringTier(name="tfidf", level=3, matcher=HashMatcher("t3")),
+    ])
+
+
+def _fast_config(**overrides) -> ClusterConfig:
+    defaults = dict(replicas=2, queue_capacity=256, coalesce_window=0.005,
+                    coalesce_pairs=16, heartbeat_timeout=2.0,
+                    spawn_grace=60.0, stall_seconds=0.02)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+# ======================================================================
+# Consistent-hash ring
+# ======================================================================
+class TestConsistentHashRing:
+    def test_deterministic_and_complete(self):
+        ring_a = ConsistentHashRing(range(4))
+        ring_b = ConsistentHashRing(range(4))
+        owners = {ring_a.owner(f"uid-{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+        for i in range(200):
+            assert ring_a.owner(f"uid-{i}") == ring_b.owner(f"uid-{i}")
+
+    def test_ownership_mostly_stable_under_growth(self):
+        ring_2 = ConsistentHashRing(range(2))
+        ring_3 = ConsistentHashRing(range(3))
+        keys = [f"uid-{i}" for i in range(300)]
+        moved = sum(1 for key in keys
+                    if ring_2.owner(key) != ring_3.owner(key)
+                    and ring_3.owner(key) != 2)
+        # Keys not claimed by the new replica overwhelmingly stay put.
+        assert moved < len(keys) * 0.2
+
+
+# ======================================================================
+# Cluster mechanics on the stub cascade (fast: no training, tiny procs)
+# ======================================================================
+class TestClusterMechanics:
+    def test_clean_soak_conserved_with_fused_parity(self):
+        COUNTERS.reset()
+        report = run_cluster_soak(
+            _stub_cascade(), PAIRS, config=_fast_config(),
+            n_clients=3, requests_per_client=4, pairs_per_request=4, seed=0)
+        assert report.ok, report.summary()
+        assert report.answered + report.rejected == report.submitted
+        assert report.by_tier.get("full", 0) == report.answered
+        stats = report.service_stats
+        assert stats["coalesce"]["fused_batches"] >= 1, report.summary()
+        assert stats["healthy"], "graceful close must stay healthy"
+        assert stats["state"] == "closed"
+
+    def test_chaos_soak_fires_both_cluster_sites(self):
+        COUNTERS.reset()
+        report = run_cluster_soak(
+            _stub_cascade(), PAIRS,
+            config=_fast_config(
+                coalesce_pairs=4,
+                replica_faults=default_replica_fault_specs(
+                    corrupt_at=(2, 3, 5, 7))),
+            plan=default_cluster_chaos_plan(),
+            n_clients=3, requests_per_client=6, pairs_per_request=4, seed=1)
+        assert report.conserved, report.summary()
+        assert report.tier1_parity, report.summary()
+        fired = report.faults_triggered
+        assert any(key.startswith("serving.dispatch") for key in fired), fired
+        assert any(key.startswith("serving.replica") for key in fired), fired
+        # the corrupt response was caught by router-side validation and
+        # the batch failed over, not answered with mangled scores
+        assert report.service_stats["sharding"]["replica_errors"] >= 1
+
+    def test_injected_kill_fault_respawns_and_redispatches(self):
+        COUNTERS.reset()
+        # Replica 0's second fused forward exits the process mid-work
+        # (the in-process stand-in for SIGKILL); its in-flight batch has
+        # exactly one live owner afterwards: whoever it failed over to.
+        kill_spec = FaultSpec(site="serving.replica", kind="kill", at=(1,),
+                              match=(("replica", 0),))
+        report = run_cluster_soak(
+            _stub_cascade(), PAIRS,
+            config=_fast_config(replica_faults=(kill_spec,),
+                                coalesce_pairs=4),
+            n_clients=3, requests_per_client=6, pairs_per_request=4, seed=2)
+        assert report.conserved, report.summary()
+        assert report.tier1_parity, report.summary()
+        recovery = report.service_stats["recovery"]
+        assert recovery["replica_crashes"] >= 1
+        assert recovery["replica_respawns"] >= 1
+        assert recovery["requests_redispatched"] >= 1
+        assert report.redispatched_responses >= 1
+
+    def test_overload_rejects_explicitly_and_conserves(self):
+        COUNTERS.reset()
+        report = run_cluster_soak(
+            _stub_cascade(), PAIRS,
+            config=_fast_config(
+                queue_capacity=2, coalesce_window=0.05,
+                replica_faults=(FaultSpec(
+                    site="serving.replica", kind="stall",
+                    at=tuple(range(0, 100_000))),)),
+            n_clients=6, requests_per_client=6, pairs_per_request=4, seed=3)
+        assert report.conserved, report.summary()
+        assert report.rejected >= 1, report.summary()
+        assert report.service_stats["recovery"]["requests_shed"] >= 1
+
+    def test_soak_under_lockcheck_is_clean(self):
+        COUNTERS.reset()
+        report = run_cluster_soak(
+            _stub_cascade(), PAIRS,
+            config=_fast_config(
+                replica_faults=default_replica_fault_specs()),
+            plan=default_cluster_chaos_plan(),
+            n_clients=3, requests_per_client=4, pairs_per_request=4,
+            seed=4, lockcheck=True)
+        assert report.lockcheck is not None
+        assert report.locks_clean, report.summary()
+        assert report.ok, report.summary()
+
+    def test_empty_request_answers_immediately(self):
+        COUNTERS.reset()
+        with ClusterService(_stub_cascade(), _fast_config(replicas=1)) as svc:
+            response = svc.submit([]).result(timeout=30.0)
+            assert response.status == "ok"
+            assert response.scores.shape == (0,)
+            assert svc.counters.snapshot()["conserved"]
+
+
+# ======================================================================
+# kill -9 chaos: the crash the tentpole exists for
+# ======================================================================
+class TestReplicaSigkill:
+    def test_sigkill_mid_soak_conserves_with_parity_and_respawn(self):
+        COUNTERS.reset()
+        # Stalls keep fused forwards slow enough that the SIGKILL lands
+        # while work is genuinely in flight on the victim.
+        report = run_cluster_soak(
+            _stub_cascade(), PAIRS,
+            config=_fast_config(
+                coalesce_pairs=4, stall_seconds=0.03,
+                replica_faults=(FaultSpec(
+                    site="serving.replica", kind="stall",
+                    at=tuple(range(0, 100_000, 2))),)),
+            n_clients=4, requests_per_client=6, pairs_per_request=4,
+            seed=5, kill=ReplicaKill(replica_id=0, after_answered=3))
+        # zero lost requests, bitwise parity on everything tier-1 —
+        # including the re-dispatched responses — across the crash
+        assert report.conserved, report.summary()
+        assert report.answered + report.rejected == report.submitted
+        assert report.tier1_parity, report.summary()
+        assert report.kill is not None and report.kill["pid"] > 0
+        recovery = report.service_stats["recovery"]
+        assert recovery["replica_crashes"] >= 1
+        assert recovery["replica_respawns"] >= 1
+        table = report.service_stats["replica_table"]
+        assert max(info["incarnation"] for info in table.values()) >= 1
+
+    def test_respawned_replica_serves_and_rebuilds_its_shard(self):
+        COUNTERS.reset()
+        config = _fast_config(coalesce_window=0.002, heartbeat_timeout=1.0)
+        with ClusterService(_stub_cascade(), config,
+                            blocker_factory=AllPairsBlocker) as svc:
+            assert svc.wait_ready(60.0)
+            records = [_ent(i) for i in range(12)]
+            for record in records:
+                svc.index_record(record)
+            probe = _ent(999)
+            candidates, pending = svc.submit_query(probe, k=12)
+            assert pending is not None
+            assert pending.result(timeout=30.0).status == "ok"
+            assert candidates == list(range(12))
+
+            victim = 0
+            pid = svc.replica_pid(victim)
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                table = svc.stats()["replica_table"]
+                fresh = table[str(victim)]
+                if fresh["incarnation"] >= 1 and fresh["ready"]:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("replica was not respawned in time")
+            assert fresh["pid"] != pid
+            # the rebuilt shard answers again: the merged candidate set is
+            # complete, so the killed shard's records are back in the index
+            candidates, pending = svc.submit_query(probe, k=12)
+            assert candidates == list(range(12))
+            assert pending.result(timeout=30.0).status == "ok"
+            ring = ConsistentHashRing(range(config.replicas))
+            expected = sum(1 for r in records if ring.owner(r.uid) == victim)
+            assert svc.stats()["replica_table"][str(victim)]["shard_size"] \
+                == expected
+        assert COUNTERS.as_dict()["replica_respawns"] >= 1
+
+
+# ======================================================================
+# Satellite: graceful close of the single-process service stays healthy
+# ======================================================================
+class TestGracefulCloseHealth:
+    def test_closed_conserved_service_reports_healthy(self):
+        cascade = _stub_cascade()
+        service = InferenceService(cascade, ServingConfig(num_workers=2))
+        with service:
+            response = service.submit(list(PAIRS[:4])).result(timeout=30.0)
+            assert response.status == "ok"
+            running = service.stats()
+            assert running["healthy"] and running["state"] == "running"
+        stats = service.stats()
+        assert stats["requests"]["conserved"]
+        assert stats["state"] == "closed"
+        assert stats["healthy"], \
+            "a clean, conserved soak must not read unhealthy after close()"
+        assert service.healthy()
+
+
+# ======================================================================
+# Real-model coalescing parity (one trained HierGAT, module-scoped)
+# ======================================================================
+@pytest.fixture(scope="module")
+def beer_cluster():
+    from repro.core import HierGAT
+    from repro.data import load_dataset
+
+    set_scale(Scale.ci())
+    dataset = load_dataset("Beer")
+    matcher = HierGAT().fit(dataset)
+    return matcher, dataset
+
+
+class TestRealModelCoalescingParity:
+    def test_pad_width_selection(self, beer_cluster):
+        matcher, dataset = beer_cluster
+        pool = list(dataset.split.test)
+        width = pad_width_for(matcher, pool)
+        assert 0 < width <= MAX_PAD_WIDTH
+        assert width == max(pair_width(matcher, p) for p in pool)
+
+    def test_fused_batches_score_bitwise_equal_offline(self, beer_cluster):
+        matcher, dataset = beer_cluster
+        cascade = build_cascade(matcher, dataset)
+        pool = list(dataset.split.test)
+        pad = pad_width_for(matcher, pool)
+        # A wide-open coalescing window so the staggered small requests
+        # genuinely fuse into cross-request batches.
+        report = run_cluster_soak(
+            cascade, pool,
+            config=ClusterConfig(replicas=2, queue_capacity=64,
+                                 coalesce_window=0.05, coalesce_pairs=8,
+                                 pad_width=pad),
+            n_clients=3, requests_per_client=3, pairs_per_request=3, seed=0)
+        assert report.ok, report.summary()
+        assert report.by_tier.get("full", 0) == report.answered
+        assert report.parity_checked == report.answered
+        assert report.service_stats["coalesce"]["fused_batches"] >= 1, \
+            report.summary()
+
+    def test_wide_pairs_dispatch_solo_with_parity(self, beer_cluster):
+        matcher, dataset = beer_cluster
+        cascade = build_cascade(matcher, dataset)
+        pool = list(dataset.split.test)
+        # pad_width=1 is narrower than any real record, so every request
+        # is non-fusible and must take the solo whole-request path — and
+        # still match the offline reference bitwise.
+        report = run_cluster_soak(
+            cascade, pool,
+            config=ClusterConfig(replicas=1, queue_capacity=64,
+                                 coalesce_window=0.01, coalesce_pairs=8,
+                                 pad_width=1),
+            n_clients=2, requests_per_client=3, pairs_per_request=4, seed=1)
+        assert report.ok, report.summary()
+        stats = report.service_stats["coalesce"]
+        assert stats["fused_batches"] == 0
+        assert stats["solo_batches"] >= 1
