@@ -28,8 +28,11 @@ lint:
 # asserting no crash and record conservation), and an embedding-store
 # smoke: build a tiny shard set, score the test split from it, and assert
 # bitwise store/live parity plus full store coverage (`embed --verify`
-# exits non-zero on either), and a blocking smoke (1k synthetic records;
-# an ANN blocker must reach pair-completeness >= 0.9 at >= 5x reduction).
+# exits non-zero on either), a blocking smoke (1k synthetic records;
+# an ANN blocker must reach pair-completeness >= 0.9 at >= 5x reduction),
+# and a streaming-resolution smoke (~500-record multi-source stream:
+# streaming must equal offline batch clustering exactly, and a SIGKILLed
+# `repro resolve` run must resume to a bitwise-identical cluster state).
 ci: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q -m "not slow"
 	PYTHONPATH=src $(PYTHON) -m repro serve --dataset Beer --fast --soak \
@@ -40,20 +43,24 @@ ci: lint
 		--store .repro-ci-store --verify
 	rm -rf .repro-ci-store
 	PYTHONPATH=src $(PYTHON) benchmarks/run_block.py --smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/run_resolve.py --smoke
 
 # Line coverage of src/repro over the fast tier (tools/cov.py uses
 # coverage.py when installed, else a built-in settrace fallback).
 coverage:
 	PYTHONPATH=src $(PYTHON) tools/cov.py tests -q -m "not slow"
 
-# Full pre-merge gate: the unit suite, a coverage floor on the analysis
-# package (the lint rules + sanitizers must themselves stay well-tested),
+# Full pre-merge gate: the unit suite, coverage floors on the analysis
+# package (the lint rules + sanitizers must themselves stay well-tested)
+# and the resolve package (the crash-safety layer likewise),
 # plus a profiled end-to-end smoke run.
 check:
 	$(PYTHON) -m pytest tests/ -q
 	PYTHONPATH=src $(PYTHON) tools/cov.py --package analysis --min 90 \
 		tests/test_analysis.py tests/test_analysis_concurrency.py \
 		-q -m "not slow"
+	PYTHONPATH=src $(PYTHON) tools/cov.py --package resolve --min 90 \
+		tests/test_resolve.py -q -m "not slow"
 	$(PYTHON) -m repro profile --dataset Beer --fast --perf full --top 5
 
 bench:
@@ -79,6 +86,12 @@ bench-robust:
 # writes BENCH_block.json.
 bench-block:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_block.py
+
+# Streaming-resolution benchmark: records/s through the WAL-backed
+# incremental cluster store, streaming-vs-offline equality, and the timed
+# kill -9 + resume drill (bitwise recovery); writes BENCH_resolve.json.
+bench-resolve:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_resolve.py
 
 bench-full:
 	$(PYTHON) benchmarks/run_all.py

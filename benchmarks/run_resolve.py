@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Benchmark streaming collective resolution; write ``BENCH_resolve.json``.
+
+Three measurements over the multi-source generated stream (the same
+generator the collective-ER pipeline uses):
+
+* **throughput** — records/s through the full streaming path (WAL append,
+  reorder, block, score, incremental cluster maintenance) plus the final
+  cluster-state size in bytes;
+* **correctness** — the streaming partition must exactly equal offline
+  batch clustering over the same edges, and conservation
+  (``clustered + pending + retracted == ingested``) must hold;
+* **recovery** — a ``repro resolve`` subprocess is killed (SIGKILL, via
+  ``--kill-after``) mid-stream; the timed ``--resume`` run must end in a
+  cluster state *bitwise identical* (equal digests) to an uninterrupted
+  control run.
+
+Usage:
+    python benchmarks/run_resolve.py           # full tier, writes the JSON
+    python benchmarks/run_resolve.py --smoke   # CI gate: ~500-record sample,
+                                               # asserts, no JSON
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_resolve.json"
+
+
+def _stream_records(entities: int, seed: int):
+    from repro.data.generators import generate_source_tables
+    from repro.data.magellan import MAGELLAN_DATASETS
+
+    spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+    tables, _ = generate_source_tables(
+        spec, entities, seed=seed, sources=("s0", "s1", "s2"), overlap=0.7)
+    return [r for source in sorted(tables) for r in tables[source]]
+
+
+def run_streaming(entities: int, seed: int, wal_dir: str) -> dict:
+    """Time the full streaming path; check streaming == offline batch."""
+    from repro.blocking.ann import MinHashLSHBlocker
+    from repro.resolve import (
+        JaccardScorer, ResolveConfig, StreamingResolver, WriteAheadLog,
+        generate_stream_edges, offline_partition, partitions_equal,
+    )
+
+    records = _stream_records(entities, seed)
+    config = ResolveConfig(match_threshold=0.35, nonmatch_threshold=0.05,
+                           seed=seed)
+    resolver = StreamingResolver(JaccardScorer(), config=config,
+                                 wal=WriteAheadLog(wal_dir))
+    started = time.perf_counter()
+    for seq, record in enumerate(records):
+        resolver.offer(record, seq=seq)
+    resolver.close()
+    elapsed = time.perf_counter() - started
+
+    stats = resolver.stats()
+    edges = generate_stream_edges(
+        records, JaccardScorer(),
+        MinHashLSHBlocker(seed=config.seed).fit([]), config)
+    offline = offline_partition([r.uid for r in records], edges,
+                                seed=config.seed)
+    return {
+        "records": len(records),
+        "seconds": round(elapsed, 4),
+        "records_per_s": round(len(records) / elapsed, 1),
+        "cluster_state_bytes": resolver.store.state_size(),
+        "wal_entries": resolver.wal.entry_count(),
+        "clusters": resolver.store.stats()["clusters"],
+        "conserved": bool(stats["conserved"]),
+        "streaming_equals_offline": partitions_equal(
+            resolver.store.clusters(), offline),
+    }
+
+
+def _cli(wal_dir: str, entities: int, seed: int, *extra: str
+         ) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "resolve", "--wal", wal_dir,
+         "--records", str(entities), "--seed", str(seed), "--json", "--fast",
+         *extra],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+
+
+def run_recovery(entities: int, seed: int, kill_after: int) -> dict:
+    """kill -9 a CLI stream mid-run; timed resume must match the control."""
+    with tempfile.TemporaryDirectory() as tmp:
+        control_dir = str(Path(tmp) / "control")
+        crash_dir = str(Path(tmp) / "crash")
+
+        control = _cli(control_dir, entities, seed)
+        if control.returncode != 0:
+            raise RuntimeError(f"control run failed:\n{control.stderr}")
+        expected = json.loads(control.stdout)["digest"]
+
+        killed = _cli(crash_dir, entities, seed,
+                      "--kill-after", str(kill_after))
+        if killed.returncode == 0:
+            raise RuntimeError("kill-after run was not killed "
+                               "(stream shorter than the kill point?)")
+
+        started = time.perf_counter()
+        resumed = _cli(crash_dir, entities, seed, "--resume")
+        recovery_s = time.perf_counter() - started
+        if resumed.returncode != 0:
+            raise RuntimeError(f"resume failed:\n{resumed.stderr}")
+        report = json.loads(resumed.stdout)
+        return {
+            "kill_after": kill_after,
+            "kill_returncode": killed.returncode,
+            "recovered_entries": report["recovered"],
+            "recovery_s": round(recovery_s, 3),
+            "digest_control": expected,
+            "digest_resumed": report["digest"],
+            "bitwise_identical": report["digest"] == expected,
+            "conserved": bool(report["stats"]["conserved"]),
+        }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: small sample, assert, no JSON output")
+    parser.add_argument("--entities", type=int, default=None,
+                        help="entities in the generated universe (each "
+                             "appears in up to 3 sources)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.config import Scale, set_scale
+
+    set_scale(Scale.ci())
+    # ~500 records for the smoke gate (185 entities across 3 sources at
+    # 0.7 overlap), a larger stream for the recorded benchmark.
+    entities = args.entities or (185 if args.smoke else 600)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print(f"streaming {entities} entities x 3 sources ...", flush=True)
+        streaming = run_streaming(entities, args.seed, str(Path(tmp) / "wal"))
+    print(f"  {streaming['records']} records in {streaming['seconds']}s "
+          f"({streaming['records_per_s']} records/s), "
+          f"{streaming['clusters']} clusters, "
+          f"state {streaming['cluster_state_bytes']} bytes")
+    print(f"  conserved={streaming['conserved']} "
+          f"streaming==offline={streaming['streaming_equals_offline']}")
+
+    kill_after = max(10, streaming["records"] // 2)
+    print(f"crash drill: SIGKILL after {kill_after} offers, "
+          f"timed resume ...", flush=True)
+    recovery = run_recovery(entities, args.seed, kill_after)
+    print(f"  recovered {recovery['recovered_entries']} entries from the "
+          f"WAL in {recovery['recovery_s']}s; "
+          f"bitwise_identical={recovery['bitwise_identical']}")
+
+    ok = (streaming["conserved"] and streaming["streaming_equals_offline"]
+          and recovery["bitwise_identical"] and recovery["conserved"])
+    if args.smoke:
+        if not ok:
+            print("SMOKE GATE FAILED", file=sys.stderr)
+            return 1
+        print("smoke gate passed: streaming == offline, kill+resume bitwise")
+        return 0
+
+    OUTPUT.write_text(json.dumps(
+        {"streaming": streaming, "recovery": recovery, "ok": ok},
+        indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -826,8 +826,9 @@ class SilentExceptRule(Rule):
                    "records through quarantine or re-raise typed errors, "
                    "never silently swallow them")
 
-    #: Packages forming the record path (ingestion → firewall → serving).
-    _PACKAGES = {"data", "serving", "guard"}
+    #: Packages forming the record path (ingestion → firewall → serving
+    #: → streaming resolution).
+    _PACKAGES = {"data", "serving", "guard", "resolve"}
 
     #: Statement/expression kinds that make a handler attributable.
     _ROUTED = (ast.Raise, ast.Call, ast.Return, ast.Yield, ast.YieldFrom,

@@ -9,6 +9,7 @@ Commands:
     profile --dataset NAME        train under the op-level profiler, print hot ops
     embed --dataset NAME          build/refresh embedding-store shards for serving
     serve --dataset NAME          drive traffic through the online serving layer
+    resolve --wal DIR             stream records through the crash-safe incremental cluster store
     quarantine --store PATH       inspect or replay a JSONL quarantine store
     lint [PATHS...]               check the determinism/gradient/concurrency invariants (R001-R010)
     lockgraph [--soak]            emit the static ∪ dynamic lock acquisition graph
@@ -370,6 +371,138 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_resolve(args) -> int:
+    """Stream multi-source records through the incremental cluster store.
+
+    Generates a deterministic multi-source record stream (same generator
+    as the collective-ER pipeline), offers it to a WAL-backed
+    :class:`~repro.resolve.stream.StreamingResolver` with a seeded
+    out-of-order schedule and scheduled retractions, and prints the
+    conservation stats plus the cluster-state digest.
+
+    The stream parameters are persisted to ``<wal>/stream.json``
+    (atomically, tmp + ``os.replace``) so ``--resume`` after a crash —
+    including a ``kill -9``, which ``--kill-after`` self-inflicts —
+    regenerates the identical stream, replays the WAL, re-offers the
+    records (already-ingested uids are rejected as duplicates), and ends
+    in a bitwise-identical cluster state: equal digests.
+    """
+    import hashlib as _hashlib
+    import json as _json
+    import os as _os
+    import signal as _signal
+
+    import numpy as _np
+
+    from repro.data.generators import generate_source_tables
+    from repro.data.magellan import MAGELLAN_DATASETS
+    from repro.resolve import (
+        JaccardScorer, ResolveConfig, StreamingResolver, WriteAheadLog,
+    )
+
+    if args.fast:
+        set_scale(Scale.ci())
+    params_path = _os.path.join(args.wal, "stream.json")
+    if args.resume:
+        if not _os.path.exists(params_path):
+            print(f"no stream parameters at {params_path}; was this WAL "
+                  f"written by `repro resolve`?", file=sys.stderr)
+            return 1
+        with open(params_path, encoding="utf-8") as fh:
+            params = _json.load(fh)
+    else:
+        params = {
+            "dataset": args.dataset,
+            "records": args.records,
+            "sources": args.sources,
+            "overlap": args.overlap,
+            "seed": args.seed,
+            "retract_rate": args.retract_rate,
+            "match_threshold": args.match_threshold,
+            "nonmatch_threshold": args.nonmatch_threshold,
+            "reorder_window": args.reorder_window,
+        }
+        _os.makedirs(args.wal, exist_ok=True)
+        tmp = f"{params_path}.tmp.{_os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            _json.dump(params, fh, sort_keys=True, indent=2)
+        _os.replace(tmp, params_path)
+
+    # The stream is a pure function of the persisted parameters: same
+    # records, same sequence numbers, same out-of-order offer schedule.
+    spec = MAGELLAN_DATASETS[params["dataset"]].spec
+    sources = tuple(f"s{i}" for i in range(params["sources"]))
+    tables, _truth = generate_source_tables(
+        spec, params["records"], seed=params["seed"], sources=sources,
+        overlap=params["overlap"])
+    records = [r for source in sorted(tables) for r in tables[source]]
+    rng = _np.random.default_rng(params["seed"])
+    block = max(2, min(8, params["reorder_window"] // 2))
+    schedule: List[int] = []
+    for start in range(0, len(records), block):
+        indices = _np.arange(start, min(start + block, len(records)))
+        rng.shuffle(indices)
+        schedule.extend(int(i) for i in indices)
+    retract_uids = [
+        record.uid for record in records
+        if int(_hashlib.blake2b(f"{params['seed']}:{record.uid}".encode(),
+                                digest_size=4).hexdigest(), 16) / 0xFFFFFFFF
+        < params["retract_rate"]]
+
+    config = ResolveConfig(
+        match_threshold=params["match_threshold"],
+        nonmatch_threshold=params["nonmatch_threshold"],
+        reorder_capacity=params["reorder_window"],
+        seed=params["seed"])
+    scorer = JaccardScorer()
+    recovered = 0
+    if args.resume:
+        resolver = StreamingResolver.resume(
+            scorer, WriteAheadLog(args.wal), config=config)
+        recovered = int(resolver.stats()["ingested"])
+    else:
+        resolver = StreamingResolver(
+            scorer, config=config, wal=WriteAheadLog(args.wal))
+
+    offered = 0
+    for index in schedule:
+        resolver.offer(records[index], seq=index)
+        offered += 1
+        if args.kill_after is not None and offered >= args.kill_after:
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+    for uid in retract_uids:
+        resolver.retract(uid, reason="scheduled-retraction")
+    resolver.close()
+
+    stats = resolver.stats()
+    report = {
+        "stats": stats,
+        "store": resolver.store.stats(),
+        "digest": resolver.store.digest(),
+        "recovered": recovered,
+        "retractions_scheduled": len(retract_uids),
+        "wal_segments": len(resolver.wal.segments),
+    }
+    if args.json:
+        print(_json.dumps(report, sort_keys=True, indent=2))
+    else:
+        mode = f"resumed ({recovered} recovered from WAL)" \
+            if args.resume else "fresh"
+        print(f"resolve: {mode}")
+        print(f"  ingested  {stats['ingested']}")
+        print(f"  clustered {stats['clustered']}")
+        print(f"  retracted {stats['retracted']}  "
+              f"({len(retract_uids)} scheduled)")
+        print(f"  conserved {stats['conserved']}")
+        store_stats = report["store"]
+        print(f"  clusters  {store_stats['clusters']} over "
+              f"{store_stats['records']} records "
+              f"({store_stats['match_edges']} match / "
+              f"{store_stats['nonmatch_edges']} non-match edges)")
+        print(f"  digest    {report['digest']}")
+    return 0 if stats["conserved"] else 1
+
+
 def cmd_quarantine(args) -> int:
     """Inspect a quarantine store; with ``--replay``, re-offer every record.
 
@@ -636,6 +769,40 @@ def build_parser() -> argparse.ArgumentParser:
                        default="float32",
                        help="stored embedding format when --store builds")
 
+    resolve = sub.add_parser(
+        "resolve",
+        help="stream records through the crash-safe incremental cluster "
+             "store")
+    resolve.add_argument("--wal", required=True,
+                         help="write-ahead-log directory (created if absent; "
+                              "also holds the stream.json parameters)")
+    resolve.add_argument("--resume", action="store_true",
+                         help="replay the WAL and continue the persisted "
+                              "stream instead of starting fresh")
+    resolve.add_argument("--records", type=int, default=200,
+                         help="entities in the generated universe")
+    resolve.add_argument("--sources", type=int, default=3,
+                         help="number of source tables in the stream")
+    resolve.add_argument("--overlap", type=float, default=0.7,
+                         help="fraction of entities present per extra source")
+    resolve.add_argument("--seed", type=int, default=0)
+    resolve.add_argument("--retract-rate", type=float, default=0.05,
+                         help="fraction of records retracted after the "
+                              "stream (seeded, deterministic)")
+    resolve.add_argument("--match-threshold", type=float, default=0.35)
+    resolve.add_argument("--nonmatch-threshold", type=float, default=0.05)
+    resolve.add_argument("--reorder-window", type=int, default=32,
+                         help="reorder-buffer capacity (out-of-order bound)")
+    resolve.add_argument("--kill-after", type=int, default=None,
+                         help="SIGKILL this process after N offers "
+                              "(crash-recovery drills; resume with --resume)")
+    resolve.add_argument("--dataset", default="Amazon-Google",
+                         help="domain spec for the generated records")
+    resolve.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    resolve.add_argument("--fast", action="store_true",
+                         help="tiny CI scale")
+
     quarantine = sub.add_parser(
         "quarantine", help="inspect or replay a JSONL quarantine store")
     quarantine.add_argument("--store", required=True,
@@ -696,6 +863,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "embed": cmd_embed,
         "serve": cmd_serve,
+        "resolve": cmd_resolve,
         "quarantine": cmd_quarantine,
         "lint": cmd_lint,
         "lockgraph": cmd_lockgraph,

@@ -45,7 +45,11 @@ from repro.guard.errors import (
 )
 from repro.guard.firewall import DataFirewall, FirewallStats, summarize
 from repro.guard.perturb import KINDS, corrupt_pairs, perturb_entity, typo_value
-from repro.guard.quarantine import QuarantinedRecord, QuarantineStore
+from repro.guard.quarantine import (
+    QuarantinedRecord,
+    QuarantineStore,
+    RetractionEvent,
+)
 from repro.guard.validate import RecordSchema, RecordValidator, canonicalize_value
 
 __all__ = [
@@ -56,6 +60,7 @@ __all__ = [
     "REASON_ENCODING", "REASON_INJECTED", "REASON_MISSING_ID",
     "REASON_NULL_EXCESS", "REASON_OVERWIDE", "REASON_RAGGED",
     "REASON_TOO_LONG", "REASON_UNKNOWN_REF", "RecordProvenance",
+    "RetractionEvent",
     "RecordSchema", "RecordValidator", "canonicalize_value", "corrupt_pairs",
     "ks_critical", "ks_statistic", "perturb_entity", "psi", "summarize",
     "typo_value",

@@ -17,7 +17,12 @@ reason — conservation holds even while the firewall itself is failing.
 
 Quarantined records can be replayed after a fix via :meth:`replay`
 (surfaced as ``repro quarantine --replay``); each record that now passes
-is removed from the store and counted in ``records_replayed``.
+is removed from the store and counted in ``records_replayed``.  Records
+that *still* fail are confirmed bad post-admission: the firewall emits a
+typed :class:`~repro.guard.quarantine.RetractionEvent` through the
+quarantine store so stateful consumers (the incremental cluster store in
+:mod:`repro.resolve`) un-merge them, and counts each emission in
+``FirewallStats.retracted``.
 """
 
 from __future__ import annotations
@@ -28,7 +33,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.data.schema import Entity, EntityPair
 from repro.guard.drift import DriftMonitor
 from repro.guard.errors import REASON_INJECTED, DataError, RecordProvenance
-from repro.guard.quarantine import QuarantinedRecord, QuarantineStore
+from repro.guard.quarantine import (
+    QuarantinedRecord,
+    QuarantineStore,
+    RetractionEvent,
+)
 from repro.guard.validate import RecordSchema, RecordValidator
 from repro.reliability import (
     COUNTERS,
@@ -40,7 +49,12 @@ from repro.reliability.locks import named_lock
 
 
 class FirewallStats:
-    """Lock-protected offered/accepted/quarantined/replayed tallies."""
+    """Lock-protected offered/accepted/quarantined/replayed tallies.
+
+    ``retracted`` counts typed retraction events emitted for records a
+    replay confirmed bad; it is informational (replay offers already
+    re-enter the conservation sum as fresh quarantines).
+    """
 
     def __init__(self):
         self._lock = named_lock("guard.firewall.stats")
@@ -48,6 +62,7 @@ class FirewallStats:
         self.accepted = 0
         self.quarantined = 0
         self.replayed = 0
+        self.retracted = 0
 
     def count(self, name: str, n: int = 1) -> None:
         with self._lock:
@@ -72,6 +87,7 @@ class FirewallStats:
                 "accepted": self.accepted,
                 "quarantined": self.quarantined,
                 "replayed": self.replayed,
+                "retracted": self.retracted,
                 "conserved":
                     self.accepted + self.quarantined == self.offered,
             }
@@ -186,7 +202,11 @@ class DataFirewall:
         Records that now validate are removed from the store and counted in
         ``records_replayed``; the rest stay quarantined (each failed replay
         adds a fresh quarantine entry in the stats, so conservation keeps
-        holding: a replay is a new offer).
+        holding: a replay is a new offer).  Each still-failing record is
+        additionally *retracted*: a typed
+        :class:`~repro.guard.quarantine.RetractionEvent` goes out to the
+        store's subscribers (counted in ``FirewallStats.retracted``) so
+        downstream state built on the record gets un-merged.
         """
         accepted: List[Entity] = []
         for record in self.store.records:
@@ -199,6 +219,11 @@ class DataFirewall:
                 accepted.append(entity)
                 self.stats.count("replayed")
                 COUNTERS.increment("records_replayed")
+            else:
+                self.stats.count("retracted")
+                self.store.emit_retraction(RetractionEvent(
+                    uid=record.uid, source=record.source, row=record.row,
+                    reason=record.reason, detail=record.detail))
         self.store.rewrite()
         return accepted, len(self.store)
 
@@ -211,6 +236,7 @@ class _FirewallSummary:
     accepted: int
     quarantined: int
     replayed: int
+    retracted: int
     conserved: bool
     by_reason: Dict[str, int]
 
@@ -224,6 +250,7 @@ def summarize(firewall: DataFirewall) -> _FirewallSummary:
         accepted=snap["accepted"],
         quarantined=snap["quarantined"],
         replayed=snap["replayed"],
+        retracted=snap["retracted"],
         conserved=snap["conserved"],
         by_reason=firewall.store.by_reason(),
     )

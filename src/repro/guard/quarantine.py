@@ -9,6 +9,13 @@ invariant ``accepted + quarantined == offered`` is checked by
 The store is an in-memory list with optional JSONL persistence (one record
 per line, append-only on ``add``), which is what the ``repro quarantine``
 CLI reads back for inspection and ``--replay``.
+
+Downstream consumers that retain state keyed on admitted records — the
+incremental cluster store in :mod:`repro.resolve` — subscribe to the
+store (:meth:`QuarantineStore.subscribe`) to receive typed
+:class:`RetractionEvent`\\ s when a record is confirmed bad *after*
+admission (a replay that still fails validation): the record must be
+un-merged, not just skipped going forward.
 """
 
 from __future__ import annotations
@@ -17,9 +24,25 @@ import dataclasses
 import json
 import os
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.reliability.locks import named_lock
+
+
+@dataclasses.dataclass(frozen=True)
+class RetractionEvent:
+    """A record confirmed bad after it may already have been consumed.
+
+    Emitted through :meth:`QuarantineStore.emit_retraction` (the firewall
+    fires one per replayed record that *still* fails validation); carries
+    enough provenance for a consumer to un-merge the record and audit why.
+    """
+
+    uid: str
+    source: str
+    row: int
+    reason: str
+    detail: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,11 +94,25 @@ class QuarantineStore:
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self._records: List[QuarantinedRecord] = []
+        self._listeners: List[Callable[[RetractionEvent], None]] = []
         self._lock = named_lock("guard.quarantine")
         # File appends/rewrites serialize behind their own lock so disk IO
         # never happens under the record-list lock readers contend on
         # (R009: no blocking call under a hot lock).
         self._io_lock = named_lock("guard.quarantine.io")
+
+    def subscribe(self,
+                  listener: Callable[[RetractionEvent], None]) -> None:
+        """Register a retraction listener (called outside store locks)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def emit_retraction(self, event: RetractionEvent) -> None:
+        """Deliver one typed retraction to every subscribed listener."""
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(event)
 
     def __len__(self) -> int:
         with self._lock:

@@ -74,6 +74,17 @@ class RecoveryCounters:
     #: In-flight request batches failed over from a lost replica to a
     #: surviving one (or to the local tier-2/3 cascade).
     requests_redispatched: int = 0
+    #: WAL segments truncated to their last checksum-valid entry after a
+    #: torn or corrupted write was detected on replay.
+    wal_truncations: int = 0
+    #: Cluster-store partitions recomputed from edges after a corrupt
+    #: in-memory merge was detected by the store's self-check.
+    resolve_merge_recomputes: int = 0
+    #: Records un-merged from the cluster store by a typed retraction.
+    records_retracted: int = 0
+    #: Transitivity conflicts (strong non-match edge inside a cluster)
+    #: repaired by a seeded deterministic re-partition.
+    resolve_conflict_repairs: int = 0
 
     def __post_init__(self):
         # Not a dataclass field: asdict()/fields() must never see the lock.

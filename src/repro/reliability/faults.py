@@ -88,6 +88,8 @@ KNOWN_SITES: Dict[str, str] = {
     "blocking.index": "ANN blocking index query integrity (blocking/ann.py)",
     "serving.replica": "replica-process tier-1 scoring (serving/cluster.py)",
     "serving.dispatch": "router batch dispatch to a replica (serving/cluster.py)",
+    "resolve.wal": "cluster-store WAL segment publication + replay (resolve/wal.py)",
+    "resolve.merge": "incremental cluster merge / conflict repair (resolve/store.py)",
 }
 
 

@@ -39,6 +39,9 @@ from typing import Dict, Optional
 #: acquire ranks ``> r``.  Mirrored as a table in docs/ANALYSIS.md —
 #: keep the two in sync (R008 parses this dict).
 LOCK_HIERARCHY: Dict[str, int] = {
+    "resolve.stream": 4,         # streaming resolver: reorder buffer + stats
+    "resolve.store": 6,          # incremental cluster store partition state
+    "resolve.wal.io": 8,         # write-ahead-log segment file serialization
     "serving.submit": 10,        # admission/lifecycle (InferenceService)
     "serving.cluster.submit": 12,    # cluster admission/lifecycle (ClusterService)
     "serving.cluster.records": 14,   # retained records + sharded index map

@@ -1,0 +1,444 @@
+"""The streaming resolver: blocker + scorer + WAL + cluster store.
+
+:class:`StreamingResolver` answers the production question "which
+resolved entity does this record join?" under a continuous, out-of-order,
+sometimes-retracted record stream.  Each offered record is write-ahead
+logged, reordered (:class:`~repro.resolve.events.ReorderBuffer`), blocked
+against the records indexed so far, scored, thresholded into match /
+non-match edges, logged again as one atomic ``resolve`` entry, and folded
+into the :class:`~repro.resolve.store.ClusterStore`.
+
+Conservation invariant, enforced by :meth:`StreamingResolver.stats` and
+asserted by the unit, fuzz, and chaos-soak suites::
+
+    clustered + pending + retracted == ingested
+
+Crash safety: :meth:`StreamingResolver.resume` rebuilds the exact
+pre-crash state from the WAL — ``arrive`` entries re-feed a fresh reorder
+buffer, released records re-apply their logged edges (bitwise provenance,
+no re-scoring), ``retract`` entries apply at their log position, and
+records released but never resolved before the crash are re-scored live
+(the scorer is deterministic, so the continuation matches the
+uninterrupted run).  The ``repro resolve`` CLI layers stream regeneration
+on top so a ``kill -9`` mid-stream resumes to a bitwise-identical cluster
+state.
+
+Retractions arrive either directly (:meth:`StreamingResolver.retract`) or
+as typed :class:`~repro.guard.quarantine.RetractionEvent`\\ s from a
+subscribed quarantine store — a record the firewall confirms bad *after*
+admission is un-merged with its edges removed.
+
+Ingestion is single-writer: ``offer`` must be driven by one stream
+thread (WAL arrival order defines replay order), while ``retract`` and
+all read surfaces are safe from any thread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.blocking.ann import MinHashLSHBlocker
+from repro.data.schema import Entity, EntityPair
+from repro.reliability.locks import named_lock
+from repro.resolve.events import RecordArrival, ReorderBuffer, ScoredEdge
+from repro.resolve.store import ClusterStore
+from repro.resolve.wal import WriteAheadLog
+from repro.text.tokenizer import tokenize
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolveConfig:
+    """Streaming-resolution knobs (all deterministic given the seed)."""
+
+    #: Scores at or above this become ``match`` edges.
+    match_threshold: float = 0.5
+    #: Scores at or below this become ``nonmatch`` constraint edges.
+    nonmatch_threshold: float = 0.05
+    #: Reorder-buffer capacity before gaps are force-skipped.
+    reorder_capacity: int = 64
+    #: Blocker candidates scored per record.
+    candidates_k: int = 8
+    #: Seed for the blocker and the partition tie-break.
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.nonmatch_threshold >= self.match_threshold:
+            raise ValueError("nonmatch_threshold must be below "
+                             "match_threshold")
+
+
+# ----------------------------------------------------------------------
+# Scorers: anything with .scores(pairs) plus tier/params_version attrs
+# ----------------------------------------------------------------------
+class JaccardScorer:
+    """Fit-free deterministic token-Jaccard scorer (the CLI floor)."""
+
+    tier = "jaccard"
+    params_version = "jaccard-v1"
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        out = np.zeros(len(pairs), dtype=np.float64)
+        for i, pair in enumerate(pairs):
+            left = set(tokenize(pair.left.text()))
+            right = set(tokenize(pair.right.text()))
+            union = len(left | right)
+            out[i] = len(left & right) / union if union else 0.0
+        return out
+
+
+class MatcherScorer:
+    """Adapter over any serving-tier matcher (``.scores(pairs)``)."""
+
+    def __init__(self, matcher, tier: str = "matcher",
+                 params_version: str = "v0"):
+        self.matcher = matcher
+        self.tier = str(getattr(matcher, "name", tier))
+        self.params_version = params_version
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        return np.asarray(self.matcher.scores(pairs), dtype=np.float64)
+
+
+class ServiceScorer:
+    """Adapter over an inference service (``submit`` → ``MatchResponse``).
+
+    After each call, :attr:`tier` / :attr:`params_version` reflect the
+    tier that actually answered, so degraded answers carry honest
+    provenance into the cluster store.
+    """
+
+    def __init__(self, service, timeout: float = 30.0):
+        self.service = service
+        self.timeout = timeout
+        self.tier = "service"
+        self.params_version = "v0"
+
+    def scores(self, pairs: Sequence[EntityPair]) -> np.ndarray:
+        response = self.service.submit(pairs).result(timeout=self.timeout)
+        if response.status != "ok" or response.scores is None:
+            raise RuntimeError(
+                f"scoring request {response.request_id} failed: "
+                f"{response.error or response.status}")
+        self.tier = str(response.tier)
+        self.params_version = f"tier{response.tier_level}"
+        return np.asarray(response.scores, dtype=np.float64)
+
+
+def _record_dict(record: Entity) -> Dict[str, object]:
+    return {"uid": record.uid, "values": dict(record.attributes),
+            "source": record.source}
+
+
+def _record_from(raw: Dict[str, object]) -> Entity:
+    return Entity.from_dict(str(raw["uid"]), dict(raw["values"]),
+                            source=str(raw.get("source", "")))
+
+
+# ----------------------------------------------------------------------
+class StreamingResolver:
+    """Incremental collective resolution over a record stream."""
+
+    def __init__(self, scorer, blocker=None,
+                 config: ResolveConfig = ResolveConfig(),
+                 wal: Optional[WriteAheadLog] = None,
+                 store: Optional[ClusterStore] = None,
+                 quarantine=None):
+        self.scorer = scorer
+        self.config = config
+        self.blocker = blocker if blocker is not None \
+            else MinHashLSHBlocker(seed=config.seed).fit([])
+        self.wal = wal
+        self.store = store if store is not None \
+            else ClusterStore(seed=config.seed)
+        self._lock = named_lock("resolve.stream")
+        self._buffer = ReorderBuffer(config.reorder_capacity)
+        self._queue: List[RecordArrival] = []
+        self._resolving = False
+        self._inflight: Optional[str] = None
+        self._seen: Set[str] = set()
+        self._resolved: Set[str] = set()
+        self._retracted: Set[str] = set()
+        self._dropped: Set[str] = set()
+        self._ingested = 0
+        self._pending = 0
+        self._clustered = 0
+        self._retracted_n = 0
+        self._auto_seq = 0
+        if quarantine is not None:
+            quarantine.subscribe(self._on_retraction)
+
+    # -- ingestion -------------------------------------------------------
+    def offer(self, record: Entity, seq: Optional[int] = None) -> bool:
+        """Offer one stream arrival; False for a duplicate uid.
+
+        Single-writer: drive this from one ingestion thread.
+        """
+        with self._lock:
+            if record.uid in self._seen:
+                return False
+            if seq is None:
+                seq = self._auto_seq
+            self._auto_seq = max(self._auto_seq, int(seq) + 1)
+        if self.wal is not None:
+            self.wal.commit({"type": "arrive", "seq": int(seq),
+                             "record": _record_dict(record)})
+        with self._lock:
+            self._seen.add(record.uid)
+            self._ingested += 1
+            self._pending += 1
+            self._queue.extend(self._buffer.offer(int(seq), record))
+        self._pump()
+        return True
+
+    def drain(self) -> None:
+        """Force-release everything still buffered and resolve it."""
+        with self._lock:
+            self._queue.extend(self._buffer.drain())
+        self._pump()
+
+    def close(self) -> None:
+        """Drain, then publish the WAL's active segment."""
+        self.drain()
+        if self.wal is not None:
+            self.wal.close()
+
+    # -- retraction ------------------------------------------------------
+    def retract(self, uid: str, reason: str = "retracted") -> bool:
+        """Un-merge ``uid`` (typed retraction); False if unknown/repeated.
+
+        A pending record is dropped at release; a clustered record is
+        removed from the store with its edges.  A record mid-resolution
+        is retracted by the resolution worker as soon as it lands.
+        """
+        with self._lock:
+            if uid not in self._seen or uid in self._retracted \
+                    or uid in self._dropped:
+                return False
+            if self._inflight == uid:
+                # Mid-resolution: the pump applies the retraction (and
+                # writes the WAL entry) right after the resolve entry.
+                self._dropped.add(uid)
+                return True
+            if uid in self._resolved:
+                pending_drop = False
+                self._resolved.discard(uid)
+                self._retracted.add(uid)
+                self._clustered -= 1
+                self._retracted_n += 1
+            else:
+                pending_drop = True
+                self._dropped.add(uid)
+                self._retracted.add(uid)
+                self._pending -= 1
+                self._retracted_n += 1
+        if self.wal is not None:
+            self.wal.commit({"type": "retract", "uid": uid,
+                             "reason": reason})
+        if not pending_drop:
+            self.store.retract(uid)
+        return True
+
+    def _on_retraction(self, event) -> None:
+        """Quarantine-store listener: typed post-admission retraction."""
+        self.retract(event.uid, reason=event.reason)
+
+    # -- resolution pipeline ---------------------------------------------
+    def _pump(self) -> None:
+        """Resolve released records FIFO; one worker at a time, no lock
+        held across scoring, WAL, or store work."""
+        while True:
+            with self._lock:
+                if self._resolving:
+                    return
+                arrival = None
+                while self._queue:
+                    candidate = self._queue.pop(0)
+                    if candidate.record.uid in self._dropped:
+                        # Retracted while pending: counted at retract time.
+                        self._dropped.discard(candidate.record.uid)
+                        continue
+                    arrival = candidate
+                    break
+                if arrival is None:
+                    return
+                self._resolving = True
+                self._inflight = arrival.record.uid
+            try:
+                self._resolve_one(arrival.record)
+            finally:
+                with self._lock:
+                    self._resolving = False
+                    self._inflight = None
+
+    def _score_edges(self, record: Entity) -> List[ScoredEdge]:
+        """Block + score + threshold one record against the index."""
+        indexed = self.blocker.records
+        candidates = self.blocker.candidates(record,
+                                             k=self.config.candidates_k)
+        with self._lock:
+            gone = self._retracted | self._dropped
+        partners = [indexed[j] for j in candidates
+                    if indexed[j].uid != record.uid
+                    and indexed[j].uid not in gone]
+        if not partners:
+            return []
+        pairs = [EntityPair(left=record, right=partner, label=0)
+                 for partner in partners]
+        scores = np.asarray(self.scorer.scores(pairs), dtype=np.float64)
+        tier = str(getattr(self.scorer, "tier", "scorer"))
+        params_version = str(getattr(self.scorer, "params_version", "v0"))
+        edges: List[ScoredEdge] = []
+        for partner, score in zip(partners, scores):
+            if score >= self.config.match_threshold:
+                kind = "match"
+            elif score <= self.config.nonmatch_threshold:
+                kind = "nonmatch"
+            else:
+                continue
+            edges.append(ScoredEdge(
+                u=record.uid, v=partner.uid, score=float(score), kind=kind,
+                tier=tier, params_version=params_version))
+        return edges
+
+    def _resolve_one(self, record: Entity) -> None:
+        edges = self._score_edges(record)
+        if self.wal is not None:
+            self.wal.commit({"type": "resolve", "uid": record.uid,
+                             "edges": [edge.to_dict() for edge in edges]})
+        self._apply_resolution(record, edges)
+        with self._lock:
+            self._resolved.add(record.uid)
+            self._pending -= 1
+            self._clustered += 1
+            retract_now = record.uid in self._dropped
+            if retract_now:
+                self._dropped.discard(record.uid)
+                self._resolved.discard(record.uid)
+                self._retracted.add(record.uid)
+                self._clustered -= 1
+                self._retracted_n += 1
+        if retract_now:
+            # Retraction raced the resolution: land it right behind.
+            if self.wal is not None:
+                self.wal.commit({"type": "retract", "uid": record.uid,
+                                 "reason": "retracted"})
+            self.store.retract(record.uid)
+
+    def _apply_resolution(self, record: Entity,
+                          edges: List[ScoredEdge]) -> None:
+        self.blocker.add(record)  # repro: noqa[R007] -- index add serialized by the single resolution worker (_pump)
+        self.store.add_record(record.uid)
+        for edge in edges:
+            self.store.apply_edge(edge)
+
+    # -- inspection ------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """One-lock snapshot of the conservation tallies.
+
+        ``conserved`` is computed from the same read as the numbers it
+        describes (the :class:`~repro.guard.firewall.FirewallStats`
+        discipline).
+        """
+        with self._lock:
+            ingested = self._ingested
+            pending = self._pending
+            clustered = self._clustered
+            retracted = self._retracted_n
+            buffered = len(self._buffer)
+            queued = len(self._queue)
+        return {
+            "ingested": ingested,
+            "pending": pending,
+            "clustered": clustered,
+            "retracted": retracted,
+            "buffered": buffered,
+            "queued": queued,
+            "conserved": clustered + pending + retracted == ingested,
+        }
+
+    # -- crash resume ----------------------------------------------------
+    @classmethod
+    def resume(cls, scorer, wal: WriteAheadLog, blocker=None,
+               config: ResolveConfig = ResolveConfig(),
+               store: Optional[ClusterStore] = None,
+               quarantine=None) -> "StreamingResolver":
+        """Rebuild the exact pre-crash state from ``wal`` and continue.
+
+        Logged resolutions re-apply their edges verbatim (bitwise
+        provenance); records released but unresolved at the crash are
+        re-scored live after the replay, in release order.
+        """
+        entries = wal.replay()
+        resolver = cls(scorer, blocker=blocker, config=config, wal=None,
+                       store=store)
+        logged: Dict[str, Dict[str, object]] = {}
+        for entry in entries:
+            if entry.get("type") == "resolve":
+                logged[str(entry["uid"])] = entry
+        for entry in entries:
+            kind = entry.get("type")
+            if kind == "arrive":
+                resolver._replay_arrive(entry, logged)
+            elif kind == "retract":
+                resolver._replay_retract(entry)
+        with resolver._lock:
+            resolver.wal = wal
+        resolver._pump()  # re-score released-but-unresolved records live
+        if quarantine is not None:
+            quarantine.subscribe(resolver._on_retraction)
+        return resolver
+
+    def _replay_arrive(self, entry: Dict[str, object],
+                       logged: Dict[str, Dict[str, object]]) -> None:
+        record = _record_from(entry["record"])
+        seq = int(entry["seq"])
+        to_apply: List[Tuple[Entity, List[ScoredEdge]]] = []
+        with self._lock:
+            if record.uid in self._seen:
+                return
+            self._seen.add(record.uid)
+            self._ingested += 1
+            self._pending += 1
+            self._auto_seq = max(self._auto_seq, seq + 1)
+            self._queue.extend(self._buffer.offer(seq, record))
+            # Consume releases whose resolution was logged before the
+            # crash; the first unlogged release stops the FIFO (live
+            # re-scoring happens once the whole log is applied).
+            while self._queue:
+                uid = self._queue[0].record.uid
+                if uid in self._dropped:
+                    self._queue.pop(0)
+                    self._dropped.discard(uid)
+                    continue
+                if uid not in logged:
+                    break
+                arrival = self._queue.pop(0)
+                replayed = logged.pop(uid)
+                to_apply.append((arrival.record,
+                                 [ScoredEdge.from_dict(raw)
+                                  for raw in replayed.get("edges", [])]))
+                self._pending -= 1
+                self._clustered += 1
+                self._resolved.add(uid)
+        for replay_record, edges in to_apply:
+            self._apply_resolution(replay_record, edges)
+
+    def _replay_retract(self, entry: Dict[str, object]) -> None:
+        uid = str(entry["uid"])
+        with self._lock:
+            if uid not in self._seen or uid in self._retracted:
+                return
+            resolved = uid in self._resolved
+            if resolved:
+                self._resolved.discard(uid)
+                self._clustered -= 1
+            else:
+                self._dropped.add(uid)
+                self._pending -= 1
+            self._retracted.add(uid)
+            self._retracted_n += 1
+        if resolved:
+            self.store.retract(uid)

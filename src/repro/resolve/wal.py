@@ -1,0 +1,227 @@
+"""Crash-safe write-ahead log for the incremental cluster store.
+
+The log is a directory of segment files.  Entries append to the active
+``wal-<index>.open`` file (one CRC32-framed JSON line per entry, flushed
+per append); when a segment reaches ``segment_entries`` entries it is
+*published* — atomically renamed to ``wal-<index>.seg`` via
+``os.replace``, the same tmp-then-replace discipline as ``repro.store``.
+A reader therefore only ever sees either a fully published segment or
+the single active file whose tail may be torn by a crash.
+
+Entry framing is ``"<crc32:08x> <json>"`` with the JSON serialized with
+sorted keys, so the byte stream for a given entry sequence is unique and
+a resumed run that logs the same decisions produces bitwise-identical
+segments.  :meth:`WriteAheadLog.replay` validates every checksum; on the
+first torn or corrupt entry it truncates the log back to the last valid
+entry (rewriting the damaged file through a ``*.tmp.<pid>`` sibling and
+deleting everything after it), counts the repair in
+``COUNTERS.wal_truncations``, and returns the surviving prefix.
+
+Fault site ``resolve.wal`` instruments every append: ``transient``
+faults are absorbed by retry-with-backoff, ``kill`` simulates dying
+before the entry reached disk (the lost suffix is re-offered on resume),
+and ``corrupt`` writes a torn line so the reader-side truncation path is
+exercised, per the :mod:`repro.reliability.faults` contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.reliability import RetryPolicy, fault_point, retry_with_backoff
+from repro.reliability.counters import COUNTERS
+from repro.reliability.locks import named_lock
+
+#: Published (immutable) segment suffix.
+SEGMENT_SUFFIX = ".seg"
+#: Active (appendable, possibly torn-tailed) segment suffix.
+OPEN_SUFFIX = ".open"
+
+
+def encode_entry(entry: Dict[str, object]) -> str:
+    """One log line: CRC32 of the canonical JSON payload, then the payload."""
+    payload = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}"
+
+
+def decode_entry(line: str) -> Optional[Dict[str, object]]:
+    """Parse one log line; ``None`` for a torn or corrupt line."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        decoded = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return decoded if isinstance(decoded, dict) else None
+
+
+class WriteAheadLog:
+    """Append-only CRC-framed log with atomic segment publication.
+
+    File IO serializes behind the dedicated ``resolve.wal.io`` lock
+    (R009: a ``*.io`` lock exists precisely to keep disk writes off the
+    hot state locks); the ``resolve.wal`` fault point fires outside it.
+    """
+
+    def __init__(self, directory: str, segment_entries: int = 256,
+                 retry_policy: RetryPolicy = RetryPolicy()):
+        if segment_entries < 1:
+            raise ValueError(
+                f"segment_entries must be >= 1, got {segment_entries}")
+        self.directory = directory
+        self.segment_entries = int(segment_entries)
+        self.retry_policy = retry_policy
+        self._io = named_lock("resolve.wal.io")
+        os.makedirs(directory, exist_ok=True)
+        with self._io:
+            self._scan()
+
+    # -- directory state -----------------------------------------------
+    def _scan(self) -> None:
+        """Adopt the on-disk state: published segments, active file, tmps."""
+        published: List[str] = []
+        open_files: List[str] = []
+        for name in sorted(os.listdir(self.directory)):
+            path = os.path.join(self.directory, name)
+            if ".tmp." in name:
+                # A crashed truncation repair left its scratch file behind;
+                # the original it meant to replace is still intact.
+                os.remove(path)
+            elif name.endswith(SEGMENT_SUFFIX):
+                published.append(path)
+            elif name.endswith(OPEN_SUFFIX):
+                open_files.append(path)
+        self._segments = published
+        self._open_path = open_files[-1] if open_files else None
+        self._open_count = 0
+        if self._open_path is not None:
+            with open(self._open_path, "r", encoding="utf-8") as fh:
+                self._open_count = sum(1 for _ in fh)
+        self._next_index = len(published) + len(open_files)
+
+    def _paths(self) -> List[str]:
+        """Every log file in entry order (published first, then active)."""
+        paths = list(self._segments)
+        if self._open_path is not None:
+            paths.append(self._open_path)
+        return paths
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        """Published (immutable) segment paths, in order."""
+        with self._io:
+            return tuple(self._segments)
+
+    def entry_count(self) -> int:
+        with self._io:
+            total = self._open_count
+            for path in self._segments:
+                with open(path, "r", encoding="utf-8") as fh:
+                    total += sum(1 for _ in fh)
+            return total
+
+    # -- append ---------------------------------------------------------
+    def commit(self, entry: Dict[str, object]) -> None:
+        """Durably append one entry (flushed before returning).
+
+        ``transient`` faults retry, ``kill`` propagates before any bytes
+        land (the entry is simply lost, like a real pre-write crash), and
+        ``corrupt`` tears the written line so replay must truncate.
+        """
+        line = encode_entry(entry)
+
+        def attempt() -> None:
+            kind = fault_point("resolve.wal")
+            self._write_line(line[:len(line) // 2] if kind == "corrupt"
+                             else line)
+
+        retry_with_backoff(attempt, policy=self.retry_policy,
+                           description="WAL append")
+
+    def _write_line(self, line: str) -> None:
+        with self._io:
+            if self._open_path is None:
+                self._open_path = os.path.join(
+                    self.directory, f"wal-{self._next_index:08d}{OPEN_SUFFIX}")
+                self._next_index += 1
+                self._open_count = 0
+            with open(self._open_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+            self._open_count += 1
+            if self._open_count >= self.segment_entries:
+                self._publish_open()
+
+    def _publish_open(self) -> None:
+        """Atomically promote the active file to an immutable segment."""
+        final = self._open_path[:-len(OPEN_SUFFIX)] + SEGMENT_SUFFIX
+        os.replace(self._open_path, final)
+        self._segments.append(final)
+        self._open_path = None
+        self._open_count = 0
+
+    def close(self) -> None:
+        """Publish a non-empty active segment so a clean log is all ``.seg``."""
+        with self._io:
+            if self._open_path is not None and self._open_count > 0:
+                self._publish_open()
+
+    # -- replay ---------------------------------------------------------
+    def replay(self) -> List[Dict[str, object]]:
+        """Read every entry; truncate at the first invalid one.
+
+        Returns the valid prefix.  A detected torn/corrupt entry repairs
+        the log in place — the damaged file is rewritten to its valid
+        prefix through a tmp + ``os.replace``, later files are deleted —
+        and increments ``COUNTERS.wal_truncations`` exactly once.
+        """
+        truncated = False
+        with self._io:
+            entries: List[Dict[str, object]] = []
+            paths = self._paths()
+            for position, path in enumerate(paths):
+                with open(path, "r", encoding="utf-8") as fh:
+                    lines = fh.read().splitlines()
+                valid: List[str] = []
+                bad = False
+                for line in lines:
+                    entry = decode_entry(line)
+                    if entry is None:
+                        bad = True
+                        break
+                    valid.append(line)
+                    entries.append(entry)
+                if bad:
+                    truncated = True
+                    self._truncate_at(paths, position, valid)
+                    break
+        if truncated:
+            COUNTERS.increment("wal_truncations")
+        return entries
+
+    def _truncate_at(self, paths: List[str], position: int,
+                     valid_lines: List[str]) -> None:
+        """Repair: keep ``valid_lines`` of ``paths[position]``, drop the rest."""
+        damaged = paths[position]
+        for path in paths[position + 1:]:
+            os.remove(path)
+        if valid_lines:
+            tmp = f"{damaged}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for line in valid_lines:
+                    fh.write(line + "\n")
+            os.replace(tmp, damaged)
+        else:
+            os.remove(damaged)
+        self._scan()

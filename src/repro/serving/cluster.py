@@ -679,6 +679,13 @@ class ClusterService:
         while wall_clock() < deadline:
             if self.counters.snapshot()["in_flight"] == 0:
                 break
+            # Re-signal every poll: a submit that raced the close can land
+            # its pairs in the coalesce buffer *after* the dispatcher
+            # consumed the wake above.  With a long coalesce window the
+            # dispatcher would then sleep out the window while the drain
+            # spins, and the buffered pairs would be force-answered as
+            # errors at the drain timeout instead of flushed.
+            self._flush_event.set()
             time.sleep(0.005)
         if self.counters.snapshot()["in_flight"]:
             self._force_answer_remaining()

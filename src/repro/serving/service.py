@@ -564,6 +564,7 @@ class InferenceService:
                 "accepted": summary.accepted,
                 "quarantined": summary.quarantined,
                 "replayed": summary.replayed,
+                "retracted": summary.retracted,
                 "conserved": summary.conserved,
                 "by_reason": summary.by_reason,
                 "drift": (self.firewall.monitor.stats()

@@ -234,7 +234,7 @@ class TestDataFirewall:
                     if (e := firewall.admit(uid, values)) is not None]
         snap = firewall.stats.snapshot()
         assert snap == {"offered": 5, "accepted": 2, "quarantined": 3,
-                        "replayed": 0, "conserved": True}
+                        "replayed": 0, "retracted": 0, "conserved": True}
         assert firewall.stats.conserved
         assert [e.uid for e in accepted] == ["a1", "a5"]
         assert firewall.store.by_reason() == {REASON_ENCODING: 1,

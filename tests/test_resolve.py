@@ -1,0 +1,870 @@
+"""Streaming collective resolution: unit, property, fault, and soak tests.
+
+Covers the ``repro.resolve`` package end to end:
+
+* the bounded :class:`ReorderBuffer` release contract;
+* WAL framing, atomic segment publication, torn-tail truncation repair,
+  and the ``resolve.wal`` fault site (transient / kill / corrupt);
+* the incremental :class:`ClusterStore` — merges, transitivity-conflict
+  repair, retraction un-merge, provenance retention — and the
+  ``resolve.merge`` fault site;
+* union-find determinism properties: the partition is invariant under
+  seeded permutations of edge arrival order (bitwise-equal digests);
+* the :class:`StreamingResolver` conservation invariant
+  ``clustered + pending + retracted == ingested`` under in-order,
+  out-of-order, retraction-heavy, and fuzzed op sequences;
+* crash resume: ``kill`` mid-stream, rebuild from the WAL, re-offer the
+  stream, and the final cluster state is *bitwise identical* to the
+  uninterrupted run — including a chaos soak that kills at many points;
+* streaming == offline batch clustering on multi-source generated data,
+  plus sanity of the exact-match partition metrics against truth;
+* the typed quarantine → retraction wiring (``RetractionEvent``,
+  ``FirewallStats.retracted``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.data.generators import generate_source_tables
+from repro.data.magellan import MAGELLAN_DATASETS
+from repro.data.schema import Entity
+from repro.guard import DataFirewall, QuarantineStore, RetractionEvent
+from repro.reliability import (
+    COUNTERS,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TrainingKilled,
+    inject,
+)
+from repro.resolve import (
+    ClusterStore,
+    JaccardScorer,
+    MatcherScorer,
+    ReorderBuffer,
+    ResolveConfig,
+    ScoredEdge,
+    StreamingResolver,
+    WriteAheadLog,
+    decode_entry,
+    encode_entry,
+    generate_stream_edges,
+    greedy_partition,
+    offline_partition,
+    partition_metrics,
+    partitions_equal,
+    truth_partition,
+)
+from repro.resolve.stream import ServiceScorer
+
+FAST_RETRY = RetryPolicy(retries=3, base_delay=0.0, max_delay=0.0)
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters():
+    COUNTERS.reset()
+    yield
+    COUNTERS.reset()
+
+
+def _entity(uid: str, text: str, source: str = "s") -> Entity:
+    return Entity.from_dict(uid, {"name": text}, source=source)
+
+
+def _group_stream(groups: int, views: int) -> List[Entity]:
+    """Records where same-group views share identical text (Jaccard 1.0)."""
+    records = []
+    for g in range(groups):
+        text = f"entity{g} alpha{g} beta{g} gamma{g}"
+        for v in range(views):
+            records.append(_entity(f"g{g}v{v}", text))
+    return records
+
+
+def _match(u: str, v: str, score: float = 0.9) -> ScoredEdge:
+    return ScoredEdge(u=u, v=v, score=score, kind="match")
+
+
+def _nonmatch(u: str, v: str, score: float = 0.01) -> ScoredEdge:
+    return ScoredEdge(u=u, v=v, score=score, kind="nonmatch")
+
+
+# ======================================================================
+# ScoredEdge
+# ======================================================================
+class TestScoredEdge:
+    def test_key_is_canonical(self):
+        assert _match("b", "a").key == ("a", "b") == _match("a", "b").key
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown edge kind"):
+            ScoredEdge(u="a", v="b", score=0.5, kind="maybe")
+
+    def test_dict_roundtrip_keeps_provenance(self):
+        edge = ScoredEdge(u="a", v="b", score=0.75, kind="match",
+                          tier="tier1", params_version="pv-7")
+        assert ScoredEdge.from_dict(edge.to_dict()) == edge
+
+
+# ======================================================================
+# ReorderBuffer
+# ======================================================================
+class TestReorderBuffer:
+    def test_in_order_releases_immediately(self):
+        buffer = ReorderBuffer(capacity=4)
+        for seq in range(3):
+            out = buffer.offer(seq, _entity(f"r{seq}", "x"))
+            assert [a.seq for a in out] == [seq]
+        assert len(buffer) == 0 and buffer.next_seq == 3
+
+    def test_gap_holds_then_releases_run(self):
+        buffer = ReorderBuffer(capacity=8)
+        assert buffer.offer(1, _entity("r1", "x")) == []
+        assert buffer.offer(2, _entity("r2", "x")) == []
+        released = buffer.offer(0, _entity("r0", "x"))
+        assert [a.seq for a in released] == [0, 1, 2]
+
+    def test_overfull_buffer_force_skips_gap(self):
+        buffer = ReorderBuffer(capacity=2)
+        assert buffer.offer(5, _entity("r5", "x")) == []
+        assert buffer.offer(6, _entity("r6", "x")) == []
+        # Third held record exceeds capacity: skip the 0..4 gap.
+        released = buffer.offer(8, _entity("r8", "x"))
+        assert [a.seq for a in released] == [5, 6]
+        assert buffer.next_seq == 7
+
+    def test_late_arrival_after_skip_releases_alone(self):
+        buffer = ReorderBuffer(capacity=1)
+        buffer.offer(3, _entity("r3", "x"))
+        buffer.offer(4, _entity("r4", "x"))  # forces the skip past 0..2
+        late = buffer.offer(0, _entity("r0", "x"))
+        assert [a.seq for a in late] == [0]
+
+    def test_drain_releases_in_seq_order(self):
+        buffer = ReorderBuffer(capacity=8)
+        for seq in (7, 3, 5):
+            buffer.offer(seq, _entity(f"r{seq}", "x"))
+        drained = buffer.drain()
+        assert [a.seq for a in drained] == [3, 5, 7]
+        assert len(buffer) == 0 and buffer.next_seq == 8
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ReorderBuffer(capacity=0)
+
+    def test_release_order_is_function_of_arrival_order(self):
+        rng = np.random.default_rng(7)
+        seqs = list(rng.permutation(20))
+        orders = []
+        for _ in range(2):
+            buffer = ReorderBuffer(capacity=4)
+            order = []
+            for seq in seqs:
+                order.extend(a.seq for a in
+                             buffer.offer(int(seq), _entity(f"r{seq}", "x")))
+            order.extend(a.seq for a in buffer.drain())
+            orders.append(order)
+        assert orders[0] == orders[1]
+        assert sorted(orders[0]) == list(range(20))
+
+
+# ======================================================================
+# WAL framing + file lifecycle
+# ======================================================================
+class TestWalFraming:
+    def test_roundtrip(self):
+        entry = {"type": "arrive", "seq": 3, "record": {"uid": "a"}}
+        assert decode_entry(encode_entry(entry)) == entry
+
+    @pytest.mark.parametrize("line", [
+        "", "short", "deadbeef", "zzzzzzzz {}",
+        encode_entry({"k": 1})[:-1],             # torn tail
+        "00000000 {\"k\": 1}",                   # wrong crc
+        encode_entry({"k": 1})[:8] + "X{}",      # frame byte wrong
+    ])
+    def test_damaged_lines_rejected(self, line):
+        assert decode_entry(line) is None
+
+    def test_non_dict_payload_rejected(self):
+        import json
+        import zlib
+        payload = json.dumps([1, 2])
+        crc = zlib.crc32(payload.encode()) & 0xFFFFFFFF
+        assert decode_entry(f"{crc:08x} {payload}") is None
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_entries=4)
+        entries = [{"type": "arrive", "seq": i} for i in range(10)]
+        for entry in entries:
+            wal.commit(entry)
+        assert wal.replay() == entries
+        assert wal.entry_count() == 10
+
+    def test_segments_publish_atomically(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_entries=3)
+        for i in range(7):
+            wal.commit({"seq": i})
+        assert len(wal.segments) == 2          # two full published segments
+        assert all(p.endswith(".seg") for p in wal.segments)
+        wal.close()                            # publishes the partial third
+        assert len(wal.segments) == 3
+
+    def test_reopen_adopts_directory_state(self, tmp_path):
+        first = WriteAheadLog(str(tmp_path), segment_entries=3)
+        for i in range(5):
+            first.commit({"seq": i})
+        second = WriteAheadLog(str(tmp_path), segment_entries=3)
+        second.commit({"seq": 5})
+        assert [e["seq"] for e in second.replay()] == list(range(6))
+
+    def test_torn_tail_truncates_once_and_repairs(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_entries=100)
+        for i in range(4):
+            wal.commit({"seq": i})
+        open_files = [n for n in os.listdir(tmp_path) if n.endswith(".open")]
+        with open(tmp_path / open_files[0], "a", encoding="utf-8") as fh:
+            fh.write(encode_entry({"seq": 4})[:10] + "\n")   # torn write
+        reader = WriteAheadLog(str(tmp_path))
+        assert [e["seq"] for e in reader.replay()] == [0, 1, 2, 3]
+        assert COUNTERS.as_dict()["wal_truncations"] == 1
+        # The repair is durable: a second replay is clean.
+        assert [e["seq"] for e in reader.replay()] == [0, 1, 2, 3]
+        assert COUNTERS.as_dict()["wal_truncations"] == 1
+
+    def test_corrupt_published_segment_drops_later_files(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), segment_entries=2)
+        for i in range(6):
+            wal.commit({"seq": i})
+        first_segment = wal.segments[0]
+        lines = open(first_segment, encoding="utf-8").read().splitlines()
+        with open(first_segment, "w", encoding="utf-8") as fh:
+            fh.write(lines[0] + "\n")
+            fh.write("garbage\n")
+        assert [e["seq"] for e in wal.replay()] == [0]
+        assert COUNTERS.as_dict()["wal_truncations"] == 1
+        assert wal.entry_count() == 1
+
+    def test_stray_tmp_files_removed_on_scan(self, tmp_path):
+        (tmp_path / "wal-00000000.seg.tmp.999").write_text("junk")
+        WriteAheadLog(str(tmp_path))
+        assert not [n for n in os.listdir(tmp_path) if ".tmp." in n]
+
+    def test_segment_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="segment_entries"):
+            WriteAheadLog(str(tmp_path), segment_entries=0)
+
+
+# ======================================================================
+# Fault site: resolve.wal
+# ======================================================================
+class TestResolveWalFaultSite:
+    def test_transient_fault_is_absorbed_by_retry(self, tmp_path):
+        plan = FaultPlan((FaultSpec(site="resolve.wal", kind="transient",
+                                    at=(0,)),))
+        wal = WriteAheadLog(str(tmp_path), retry_policy=FAST_RETRY)
+        with inject(plan):
+            wal.commit({"seq": 0})
+        assert plan.fired("resolve.wal", "transient")
+        assert COUNTERS.as_dict()["transient_retries"] >= 1
+        assert [e["seq"] for e in wal.replay()] == [0]
+
+    def test_kill_fault_loses_entry_before_any_bytes(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), retry_policy=FAST_RETRY)
+        wal.commit({"seq": 0})
+        plan = FaultPlan((FaultSpec(site="resolve.wal", kind="kill",
+                                    at=(0,)),))
+        with inject(plan):
+            with pytest.raises(TrainingKilled):
+                wal.commit({"seq": 1})
+        # The killed append left no partial bytes behind.
+        assert [e["seq"] for e in wal.replay()] == [0]
+
+    def test_corrupt_fault_exercises_reader_truncation(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), retry_policy=FAST_RETRY)
+        wal.commit({"seq": 0})
+        plan = FaultPlan((FaultSpec(site="resolve.wal", kind="corrupt",
+                                    at=(0,)),))
+        with inject(plan):
+            wal.commit({"seq": 1})               # lands as a torn line
+        assert [e["seq"] for e in wal.replay()] == [0]
+        assert COUNTERS.as_dict()["wal_truncations"] == 1
+
+
+# ======================================================================
+# ClusterStore
+# ======================================================================
+class TestClusterStore:
+    def _store(self) -> ClusterStore:
+        store = ClusterStore(seed=0, retry_policy=FAST_RETRY)
+        for uid in ("a", "b", "c", "d"):
+            store.add_record(uid)
+        return store
+
+    def test_add_record_registers_singleton(self):
+        store = self._store()
+        assert "a" in store and len(store) == 4
+        assert store.assign("a") == "a"
+        assert store.add_record("a") is False
+
+    def test_match_edges_merge_clusters(self):
+        store = self._store()
+        store.apply_edge(_match("a", "b"))
+        store.apply_edge(_match("b", "c"))
+        assert store.assign("a") == store.assign("c") == "a"
+        assert ("a", "b", "c") in store.clusters()
+
+    def test_edge_provenance_retained_per_merge(self):
+        store = self._store()
+        edge = ScoredEdge(u="a", v="b", score=0.88, kind="match",
+                          tier="tier2", params_version="pv-3")
+        store.apply_edge(edge)
+        retained = {e.key: e for e in store.edges()}
+        assert retained[("a", "b")].tier == "tier2"
+        assert retained[("a", "b")].params_version == "pv-3"
+        assert retained[("a", "b")].score == pytest.approx(0.88)
+
+    def test_unregistered_endpoint_rejected(self):
+        store = self._store()
+        with pytest.raises(KeyError, match="not registered"):
+            store.apply_edge(_match("a", "zz"))
+
+    def test_conflict_repair_splits_weakest_link(self):
+        store = self._store()
+        store.apply_edge(_match("a", "b", score=0.9))
+        store.apply_edge(_match("b", "c", score=0.6))
+        assert store.assign("a") == store.assign("c")
+        # Strong non-match inside the cluster: transitivity conflict.
+        store.apply_edge(_nonmatch("a", "c"))
+        assert COUNTERS.as_dict()["resolve_conflict_repairs"] == 1
+        assert store.assign("a") == store.assign("b")    # strong edge kept
+        assert store.assign("c") != store.assign("a")    # weak link cut
+
+    def test_constraint_before_merge_prevents_colocation(self):
+        store = self._store()
+        store.apply_edge(_nonmatch("a", "c"))            # components differ
+        assert COUNTERS.as_dict()["resolve_conflict_repairs"] == 0
+        store.apply_edge(_match("a", "b", score=0.9))
+        store.apply_edge(_match("b", "c", score=0.6))    # binds the constraint
+        assert store.assign("a") != store.assign("c")
+        assert store.stats()["constrained_components"] == 1
+
+    def test_retract_unmerges_and_splits_component(self):
+        store = self._store()
+        store.apply_edge(_match("a", "b"))
+        store.apply_edge(_match("b", "c"))
+        assert store.retract("b") is True
+        assert COUNTERS.as_dict()["records_retracted"] == 1
+        assert store.assign("b") is None and "b" not in store
+        # a and c were only connected through b: now separate clusters.
+        assert store.assign("a") == "a" and store.assign("c") == "c"
+        assert all("b" not in edge.key for edge in store.edges())
+        assert store.retract("b") is False
+
+    def test_retract_reapplies_constraints_per_component(self):
+        store = self._store()
+        store.apply_edge(_match("a", "b", score=0.9))
+        store.apply_edge(_match("b", "c", score=0.6))
+        store.apply_edge(_match("c", "d", score=0.8))
+        store.apply_edge(_nonmatch("b", "d"))
+        clusters_before = store.clusters()
+        store.retract("a")
+        # Remaining component b-c-d still carries the b–d constraint.
+        assert store.assign("b") != store.assign("d")
+        assert store.clusters() != clusters_before
+
+    def test_digest_tracks_state(self):
+        store = self._store()
+        digest_empty = store.digest()
+        store.apply_edge(_match("a", "b"))
+        assert store.digest() != digest_empty
+        twin = self._store()
+        twin.apply_edge(_match("a", "b"))
+        assert twin.digest() == store.digest()
+        assert store.state_size() > 0
+
+    def test_rescore_overwrites_edge_decision(self):
+        store = self._store()
+        store.apply_edge(_match("a", "b", score=0.7))
+        store.apply_edge(_match("a", "b", score=0.95))
+        retained = {e.key: e for e in store.edges()}
+        assert retained[("a", "b")].score == pytest.approx(0.95)
+
+
+# ======================================================================
+# Fault site: resolve.merge
+# ======================================================================
+class TestResolveMergeFaultSite:
+    def test_transient_fault_is_absorbed(self):
+        store = ClusterStore(retry_policy=FAST_RETRY)
+        store.add_record("a")
+        store.add_record("b")
+        plan = FaultPlan((FaultSpec(site="resolve.merge", kind="transient",
+                                    at=(0,)),))
+        with inject(plan):
+            store.apply_edge(_match("a", "b"))
+        assert plan.fired("resolve.merge", "transient")
+        assert store.assign("a") == store.assign("b")
+
+    def test_kill_fault_propagates(self):
+        store = ClusterStore(retry_policy=FAST_RETRY)
+        store.add_record("a")
+        store.add_record("b")
+        plan = FaultPlan((FaultSpec(site="resolve.merge", kind="kill",
+                                    at=(0,)),))
+        with inject(plan):
+            with pytest.raises(TrainingKilled):
+                store.apply_edge(_match("a", "b"))
+        # The kill fired before any state mutation: still singletons.
+        assert store.assign("a") == "a" and store.assign("b") == "b"
+
+    def test_corrupt_fault_detected_and_recomputed(self):
+        store = ClusterStore(retry_policy=FAST_RETRY)
+        for uid in ("a", "b", "c"):
+            store.add_record(uid)
+        store.apply_edge(_match("a", "b"))
+        plan = FaultPlan((FaultSpec(site="resolve.merge", kind="corrupt",
+                                    at=(0,)),))
+        with inject(plan):
+            store.apply_edge(_match("b", "c"))
+        assert COUNTERS.as_dict()["resolve_merge_recomputes"] == 1
+        # The self-check recomputed the damaged component from its edges.
+        assert store.assign("a") == store.assign("c") == "a"
+
+
+# ======================================================================
+# Determinism properties (union-find / greedy partition)
+# ======================================================================
+def _random_edges(rng: np.random.Generator, n_uids: int,
+                  n_edges: int) -> List[ScoredEdge]:
+    uids = [f"u{i:03d}" for i in range(n_uids)]
+    edges: List[ScoredEdge] = []
+    seen = set()
+    while len(edges) < n_edges:
+        i, j = rng.integers(0, n_uids, size=2)
+        if i == j:
+            continue
+        key = (min(i, j), max(i, j))
+        if key in seen:
+            continue
+        seen.add(key)
+        if rng.random() < 0.75:
+            edges.append(_match(uids[i], uids[j],
+                                score=round(float(rng.random()), 3)))
+        else:
+            edges.append(_nonmatch(uids[i], uids[j]))
+    return edges
+
+
+class TestPartitionDeterminism:
+    def test_partition_invariant_under_edge_permutation(self):
+        """Seeded shuffles of the arrival order give bitwise-equal digests."""
+        for case_seed in range(5):
+            rng = np.random.default_rng(1000 + case_seed)
+            edges = _random_edges(rng, n_uids=24, n_edges=40)
+            uids = sorted({uid for e in edges for uid in (e.u, e.v)})
+            digests = set()
+            for shuffle_seed in range(4):
+                order = list(edges)
+                np.random.default_rng(shuffle_seed).shuffle(order)
+                store = ClusterStore(seed=0)
+                for uid in uids:
+                    store.add_record(uid)
+                for edge in order:
+                    store.apply_edge(edge)
+                digests.add(store.digest())
+            assert len(digests) == 1, f"case {case_seed} diverged"
+
+    def test_streaming_matches_one_shot_batch(self):
+        rng = np.random.default_rng(42)
+        edges = _random_edges(rng, n_uids=20, n_edges=30)
+        uids = sorted({uid for e in edges for uid in (e.u, e.v)})
+        store = ClusterStore(seed=3)
+        for uid in uids:
+            store.add_record(uid)
+        for edge in edges:
+            store.apply_edge(edge)
+        assert partitions_equal(store.clusters(),
+                                offline_partition(uids, edges, seed=3))
+
+    def test_greedy_partition_pure_and_constraint_respecting(self):
+        members = {"a", "b", "c", "d"}
+        scores = {("a", "b"): 0.9, ("b", "c"): 0.8, ("c", "d"): 0.7}
+        constraints = {("a", "c")}
+        assignment = greedy_partition(members, scores, constraints, seed=0)
+        assert assignment == greedy_partition(members, scores, constraints,
+                                              seed=0)
+        assert assignment["a"] != assignment["c"]
+        assert assignment["a"] == assignment["b"]
+
+    def test_equal_scores_break_ties_by_seeded_hash(self):
+        members = {"a", "b", "c"}
+        scores = {("a", "b"): 0.5, ("b", "c"): 0.5}
+        constraints = {("a", "c")}
+        results = {seed: greedy_partition(members, scores, constraints, seed)
+                   for seed in range(8)}
+        # Same seed → same outcome; across seeds both resolutions appear.
+        for seed, assignment in results.items():
+            assert assignment == greedy_partition(members, scores,
+                                                  constraints, seed)
+        outcomes = {tuple(sorted(a.items())) for a in results.values()}
+        assert len(outcomes) >= 1  # deterministic even when unanimously tied
+
+
+# ======================================================================
+# StreamingResolver
+# ======================================================================
+def _resolver(wal: Optional[WriteAheadLog] = None,
+              quarantine=None, **config) -> StreamingResolver:
+    cfg = ResolveConfig(**{"match_threshold": 0.5, "nonmatch_threshold": 0.05,
+                           **config})
+    return StreamingResolver(JaccardScorer(), config=cfg, wal=wal,
+                             quarantine=quarantine)
+
+
+def _assert_conserved(resolver: StreamingResolver) -> Dict[str, object]:
+    stats = resolver.stats()
+    assert stats["conserved"], stats
+    return stats
+
+
+class TestStreamingResolver:
+    def test_stream_clusters_duplicate_views(self):
+        resolver = _resolver()
+        for record in _group_stream(groups=3, views=3):
+            assert resolver.offer(record)
+        resolver.close()
+        stats = _assert_conserved(resolver)
+        assert stats["ingested"] == 9 and stats["clustered"] == 9
+        clusters = resolver.store.clusters()
+        assert ("g0v0", "g0v1", "g0v2") in clusters
+        assert len(clusters) == 3
+
+    def test_duplicate_uid_rejected(self):
+        resolver = _resolver()
+        record = _entity("dup", "alpha beta")
+        assert resolver.offer(record) is True
+        assert resolver.offer(record) is False
+        _assert_conserved(resolver)
+        assert resolver.stats()["ingested"] == 1
+
+    def test_out_of_order_arrival_conserves_and_matches_in_order(self):
+        records = _group_stream(groups=3, views=3)
+        in_order = _resolver(reorder_capacity=4)
+        for seq, record in enumerate(records):
+            in_order.offer(record, seq=seq)
+        in_order.close()
+
+        shuffled = _resolver(reorder_capacity=4)
+        order = list(enumerate(records))
+        np.random.default_rng(11).shuffle(order)
+        for seq, record in order:
+            shuffled.offer(record, seq=seq)
+        shuffled.close()
+
+        _assert_conserved(shuffled)
+        assert partitions_equal(shuffled.store.clusters(),
+                                in_order.store.clusters())
+
+    def test_retract_resolved_record_unmerges(self):
+        resolver = _resolver()
+        for record in _group_stream(groups=1, views=3):
+            resolver.offer(record)
+        resolver.close()
+        assert resolver.retract("g0v1", reason="bad-source") is True
+        stats = _assert_conserved(resolver)
+        assert stats["retracted"] == 1 and stats["clustered"] == 2
+        assert resolver.store.assign("g0v1") is None
+        assert resolver.store.assign("g0v0") == resolver.store.assign("g0v2")
+        assert resolver.retract("g0v1") is False
+        assert resolver.retract("never-seen") is False
+
+    def test_retract_pending_record_never_clusters(self):
+        resolver = _resolver(reorder_capacity=64)
+        resolver.offer(_entity("p1", "alpha beta"), seq=5)  # held behind gap
+        assert resolver.retract("p1") is True
+        stats = _assert_conserved(resolver)
+        assert stats["retracted"] == 1 and stats["pending"] == 0
+        resolver.close()
+        assert resolver.store.assign("p1") is None
+        _assert_conserved(resolver)
+
+    def test_stats_snapshot_fields(self):
+        resolver = _resolver()
+        stats = resolver.stats()
+        assert set(stats) == {"ingested", "pending", "clustered", "retracted",
+                              "buffered", "queued", "conserved"}
+
+    def test_matcher_scorer_adapter(self):
+        class _Stub:
+            name = "stub-matcher"
+
+            def scores(self, pairs):
+                return np.ones(len(pairs)) * 0.9
+
+        scorer = MatcherScorer(_Stub(), params_version="pv-1")
+        resolver = StreamingResolver(scorer)
+        for record in _group_stream(groups=1, views=2):
+            resolver.offer(record)
+        resolver.close()
+        edges = resolver.store.edges()
+        assert edges and all(e.tier == "stub-matcher" for e in edges)
+        assert all(e.params_version == "pv-1" for e in edges)
+
+    def test_service_scorer_raises_on_failed_response(self):
+        class _Response:
+            status = "error"
+            scores = None
+            error = "boom"
+            request_id = "r1"
+
+        class _Future:
+            def result(self, timeout=None):
+                return _Response()
+
+        class _Service:
+            def submit(self, pairs):
+                return _Future()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            ServiceScorer(_Service()).scores([])
+
+    def test_fuzzed_op_sequence_conserves(self):
+        """500 seeded offer/retract/drain ops: conservation after each."""
+        rng = np.random.default_rng(20260808)
+        resolver = _resolver(reorder_capacity=8)
+        texts = [f"entity{g} alpha{g} beta{g}" for g in range(10)]
+        offered: List[str] = []
+        next_uid = 0
+        for step in range(500):
+            op = rng.random()
+            if op < 0.70 or not offered:
+                uid = f"f{next_uid}"
+                next_uid += 1
+                text = texts[int(rng.integers(0, len(texts)))]
+                # Out-of-order: jitter the sequence number.
+                seq = resolver._auto_seq + int(rng.integers(0, 4))
+                resolver.offer(_entity(uid, text), seq=seq)
+                offered.append(uid)
+            elif op < 0.95:
+                resolver.retract(offered[int(rng.integers(0, len(offered)))])
+            else:
+                resolver.drain()
+            if step % 50 == 0:
+                _assert_conserved(resolver)
+        resolver.close()
+        stats = _assert_conserved(resolver)
+        assert stats["ingested"] == next_uid
+
+
+# ======================================================================
+# Quarantine → typed retraction wiring (guard integration)
+# ======================================================================
+class TestQuarantineRetraction:
+    def test_emit_retraction_reaches_subscribers(self):
+        store = QuarantineStore()
+        received: List[RetractionEvent] = []
+        store.subscribe(received.append)
+        event = RetractionEvent(uid="q1", source="s", row=3,
+                                reason="bad_type", detail="int name")
+        store.emit_retraction(event)
+        assert received == [event]
+
+    def test_firewall_replay_emits_and_counts_retractions(self):
+        firewall = DataFirewall()
+        received: List[RetractionEvent] = []
+        firewall.store.subscribe(received.append)
+        # Over-wide values stay invalid across a replay (stringifying a
+        # quarantined payload can heal a type error, not an oversize one).
+        assert firewall.admit("bad1", {"name": "x" * 9000}) is None
+        accepted, still_held = firewall.replay()             # still invalid
+        assert accepted == [] and still_held == 1
+        assert [e.uid for e in received] == ["bad1"]
+        assert received[0].reason
+        snapshot = firewall.stats.snapshot()
+        assert snapshot["retracted"] == 1
+        assert firewall.stats.conserved
+
+    def test_resolver_unmerges_on_quarantine_retraction(self):
+        quarantine = QuarantineStore()
+        resolver = _resolver(quarantine=quarantine)
+        for record in _group_stream(groups=1, views=3):
+            resolver.offer(record)
+        resolver.close()
+        quarantine.emit_retraction(RetractionEvent(
+            uid="g0v2", source="s", row=0, reason="confirmed-bad"))
+        stats = _assert_conserved(resolver)
+        assert stats["retracted"] == 1
+        assert resolver.store.assign("g0v2") is None
+
+
+# ======================================================================
+# Streaming == offline batch on multi-source generated data
+# ======================================================================
+class TestStreamingEqualsOffline:
+    def _sample(self):
+        spec = MAGELLAN_DATASETS["Amazon-Google"].spec
+        tables, truth = generate_source_tables(
+            spec, 40, seed=9, sources=("s0", "s1", "s2"), overlap=0.7)
+        records = [r for source in sorted(tables) for r in tables[source]]
+        truth_pairs = [(anchor, uid) for anchor, views in truth.items()
+                       for _, uid in views]
+        return records, truth_pairs
+
+    def test_streaming_partition_equals_offline_batch(self):
+        records, _ = self._sample()
+        config = ResolveConfig(match_threshold=0.35, nonmatch_threshold=0.05,
+                               seed=9)
+        resolver = StreamingResolver(JaccardScorer(), config=config)
+        for record in records:
+            resolver.offer(record)
+        resolver.close()
+        _assert_conserved(resolver)
+
+        from repro.blocking.ann import MinHashLSHBlocker
+        edges = generate_stream_edges(
+            records, JaccardScorer(),
+            MinHashLSHBlocker(seed=config.seed).fit([]), config)
+        offline = offline_partition([r.uid for r in records], edges,
+                                    seed=config.seed)
+        assert partitions_equal(resolver.store.clusters(), offline)
+
+    def test_partition_metrics_against_truth_are_sane(self):
+        records, truth_pairs = self._sample()
+        config = ResolveConfig(match_threshold=0.35, nonmatch_threshold=0.05,
+                               seed=9)
+        resolver = StreamingResolver(JaccardScorer(), config=config)
+        for record in records:
+            resolver.offer(record)
+        resolver.close()
+        truth = truth_partition([r.uid for r in records], truth_pairs)
+        metrics = partition_metrics(resolver.store.clusters(), truth)
+        assert 0.0 < metrics["pairwise_f1"] <= 1.0
+        assert 0.0 <= metrics["exact_cluster_match_rate"] <= 1.0
+        assert metrics["predicted_clusters"] > 1
+
+    def test_metrics_perfect_on_identical_partitions(self):
+        partition = (("a", "b"), ("c",))
+        metrics = partition_metrics(partition, partition)
+        assert metrics["pairwise_f1"] == 1.0
+        assert metrics["exact_cluster_match_rate"] == 1.0
+
+
+# ======================================================================
+# Crash resume: kill mid-stream, bitwise-identical recovery
+# ======================================================================
+def _run_stream(records: List[Entity], wal: Optional[WriteAheadLog],
+                kill_plan: Optional[FaultPlan] = None
+                ) -> Tuple[StreamingResolver, Optional[int]]:
+    """Offer all records; returns (resolver, index where a kill landed)."""
+    resolver = StreamingResolver(
+        JaccardScorer(), config=ResolveConfig(seed=1), wal=wal)
+    if kill_plan is None:
+        for seq, record in enumerate(records):
+            resolver.offer(record, seq=seq)
+        resolver.close()
+        return resolver, None
+    with inject(kill_plan):
+        for seq, record in enumerate(records):
+            try:
+                resolver.offer(record, seq=seq)
+            except TrainingKilled:
+                return resolver, seq
+    resolver.close()
+    return resolver, None
+
+
+class TestCrashResume:
+    def test_resume_after_kill_is_bitwise_identical(self, tmp_path):
+        records = _group_stream(groups=4, views=3)
+
+        baseline, _ = _run_stream(
+            records, WriteAheadLog(str(tmp_path / "clean")))
+        expected = baseline.store.digest()
+
+        # Kill the WAL append mid-stream (arrive + resolve entries share
+        # the site counter, so invocation 9 lands mid-resolution work).
+        wal_dir = str(tmp_path / "killed")
+        plan = FaultPlan((FaultSpec(site="resolve.wal", kind="kill",
+                                    at=(9,)),))
+        crashed, killed_at = _run_stream(
+            records, WriteAheadLog(wal_dir, retry_policy=FAST_RETRY),
+            kill_plan=plan)
+        assert killed_at is not None and killed_at < len(records)
+
+        # Recover: replay the WAL, then re-offer the whole stream (the
+        # already-ingested prefix is rejected as duplicates).
+        resumed = StreamingResolver.resume(
+            JaccardScorer(), WriteAheadLog(wal_dir),
+            config=ResolveConfig(seed=1))
+        _assert_conserved(resumed)
+        for seq, record in enumerate(records):
+            resumed.offer(record, seq=seq)
+        resumed.close()
+        stats = _assert_conserved(resumed)
+        assert stats["ingested"] == len(records)
+        assert resumed.store.digest() == expected          # bitwise
+        assert partitions_equal(resumed.store.clusters(),
+                                baseline.store.clusters())
+
+    def test_resume_replays_retractions(self, tmp_path):
+        records = _group_stream(groups=2, views=3)
+        wal_dir = str(tmp_path / "wal")
+        resolver, _ = _run_stream(records, WriteAheadLog(wal_dir))
+        resolver.retract("g0v1", reason="late-quarantine")
+        resolver.close()
+        expected = resolver.store.digest()
+
+        resumed = StreamingResolver.resume(
+            JaccardScorer(), WriteAheadLog(wal_dir),
+            config=ResolveConfig(seed=1))
+        stats = _assert_conserved(resumed)
+        assert stats["retracted"] == 1
+        assert resumed.store.assign("g0v1") is None
+        assert resumed.store.digest() == expected
+
+    def test_resume_of_clean_log_is_identity(self, tmp_path):
+        records = _group_stream(groups=2, views=2)
+        wal_dir = str(tmp_path / "wal")
+        resolver, _ = _run_stream(records, WriteAheadLog(wal_dir))
+        resumed = StreamingResolver.resume(
+            JaccardScorer(), WriteAheadLog(wal_dir),
+            config=ResolveConfig(seed=1))
+        assert resumed.store.digest() == resolver.store.digest()
+        stats = _assert_conserved(resumed)
+        assert stats["ingested"] == len(records)
+
+    def test_chaos_soak_kill_everywhere_conserves_and_converges(self,
+                                                                tmp_path):
+        """Kill the WAL at many invocation points; each crash resumes to
+        the uninterrupted digest with conservation intact throughout."""
+        records = _group_stream(groups=3, views=3)
+        baseline, _ = _run_stream(
+            records, WriteAheadLog(str(tmp_path / "clean")))
+        expected = baseline.store.digest()
+
+        rng = np.random.default_rng(5)
+        kill_points = sorted(set(rng.integers(1, 16, size=5).tolist()))
+        for kill_at in kill_points:
+            wal_dir = str(tmp_path / f"soak-{kill_at}")
+            plan = FaultPlan((FaultSpec(site="resolve.wal", kind="kill",
+                                        at=(kill_at,)),))
+            _, killed_at = _run_stream(
+                records, WriteAheadLog(wal_dir, retry_policy=FAST_RETRY),
+                kill_plan=plan)
+            resumed = StreamingResolver.resume(
+                JaccardScorer(), WriteAheadLog(wal_dir),
+                config=ResolveConfig(seed=1))
+            _assert_conserved(resumed)
+            for seq, record in enumerate(records):
+                resumed.offer(record, seq=seq)
+            resumed.close()
+            stats = _assert_conserved(resumed)
+            assert stats["ingested"] == len(records), f"kill@{kill_at}"
+            assert resumed.store.digest() == expected, f"kill@{kill_at}"

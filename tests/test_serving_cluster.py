@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import os
 import signal
+import threading
 import time
 
 import numpy as np
@@ -354,6 +355,87 @@ class TestGracefulCloseHealth:
         assert stats["healthy"], \
             "a clean, conserved soak must not read unhealthy after close()"
         assert service.healthy()
+
+
+# ======================================================================
+# Regression: close() flushes a non-empty coalesce buffer, never drops it
+# ======================================================================
+class TestCloseFlushesCoalesceBuffer:
+    def test_close_flushes_buffered_pairs_not_drops_them(self):
+        """Pairs sitting in the coalesce buffer when close() is called are
+        scored through the normal flush path, well before drain_timeout."""
+        COUNTERS.reset()
+        config = _fast_config(replicas=1, coalesce_window=30.0,
+                              coalesce_pairs=64, drain_timeout=20.0)
+        with ClusterService(_stub_cascade(), config) as svc:
+            assert svc.wait_ready(60.0)
+            pending = svc.submit(list(PAIRS[:3]))
+            time.sleep(0.05)          # let the pairs land in the buffer
+            started = time.monotonic()
+            svc.close()
+            elapsed = time.monotonic() - started
+        response = pending.result(timeout=5.0)
+        assert response.status == "ok", response.error
+        assert response.tier == "full"
+        assert elapsed < config.drain_timeout / 2, \
+            "close() sat out the coalesce window instead of flushing"
+        assert svc.counters.snapshot()["conserved"]
+
+    def test_submit_racing_close_is_flushed_not_timed_out(self):
+        """The narrow race: a submit passes the closed-check, then its
+        pairs reach the coalesce buffer only *after* the dispatcher has
+        consumed close()'s flush wake.  The drain loop must re-signal so
+        the buffered pairs are scored, not force-answered as errors at
+        the drain timeout."""
+        import repro.serving.cluster as cluster_mod
+
+        COUNTERS.reset()
+        config = _fast_config(replicas=1, coalesce_window=30.0,
+                              coalesce_pairs=64, drain_timeout=20.0)
+        release = threading.Event()
+        real_clock = cluster_mod.wall_clock
+
+        def gated_clock():
+            # Stall only the racing submit thread at its first wall_clock
+            # call — the point between its closed-check and its buffer
+            # append — until close() is underway.
+            if threading.current_thread().name == "racing-submit":
+                release.wait(15.0)
+            return real_clock()
+
+        svc = ClusterService(_stub_cascade(), config).start()
+        try:
+            assert svc.wait_ready(60.0)
+            result = {}
+
+            def racing_submit():
+                result["pending"] = svc.submit(list(PAIRS[:3]))
+
+            cluster_mod.wall_clock = gated_clock
+            submitter = threading.Thread(target=racing_submit,
+                                         name="racing-submit")
+            submitter.start()
+            time.sleep(0.05)          # submit is now stalled post-admission
+            closer = threading.Thread(target=svc.close)
+            started = time.monotonic()
+            closer.start()
+            # Give the dispatcher time to consume close()'s initial wake,
+            # then let the submit land its pairs in the buffer.
+            time.sleep(0.2)
+            release.set()
+            submitter.join(timeout=30.0)
+            closer.join(timeout=30.0)
+            elapsed = time.monotonic() - started
+            assert not closer.is_alive(), "close() never finished"
+        finally:
+            cluster_mod.wall_clock = real_clock
+            release.set()
+            svc.close()
+        response = result["pending"].result(timeout=5.0)
+        assert response.status == "ok", response.error
+        assert elapsed < config.drain_timeout / 2, \
+            "the raced pairs were only answered at the drain timeout"
+        assert svc.counters.snapshot()["conserved"]
 
 
 # ======================================================================
